@@ -1,0 +1,161 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation from the simulator. Each experiment id maps to one table
+// or figure (see DESIGN.md for the index):
+//
+//	fig1b    calculated-view counts vs angular resolution
+//	opcount  §4 multi-resolution vs flat operation counts
+//	fig23    cross-sections of old- vs new-orientation reconstructions
+//	fig5     Sindbis-like FSC comparison (includes the Fig. 4 split)
+//	fig6     reo-like FSC comparison
+//	table1   Sindbis-like per-step timing table
+//	table2   reo-like per-step timing table
+//	sliding  §5 sliding-window activation statistics
+//	convergence  resolution/error trajectory across refine→reconstruct cycles
+//	depth    §5's closing question: accuracy/cost vs schedule depth
+//	cycle    §5 refinement vs reconstruction cycle shares
+//	symdetect §6 symmetry-group detection
+//	all      everything above
+//
+// Usage:
+//
+//	tables -exp fig5 [-scale 1] [-out results] [-p 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/volume"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see doc comment)")
+		scale = flag.Float64("scale", 1, "shrink factor ≥1 for dataset size (quicker runs)")
+		outD  = flag.String("out", "", "directory for image artifacts (fig23 sections)")
+		p     = flag.Int("p", 16, "simulated processor count for timing tables")
+	)
+	flag.Parse()
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"fig1b", "opcount", "fig5", "fig23", "fig6", "table1", "table2", "sliding", "cycle", "symdetect", "convergence", "depth"}
+	}
+
+	// FSC experiments are shared between several ids; cache them.
+	var sindbisFSC, reoFSC *workload.FSCExperiment
+	getFSC := func(spec workload.DatasetSpec) *workload.FSCExperiment {
+		cached := &sindbisFSC
+		if spec.Name == "reo-like" {
+			cached = &reoFSC
+		}
+		if *cached == nil {
+			log.Printf("running FSC experiment for %s (this is the long part)...", spec.Name)
+			e, err := workload.RunFSC(spec.Scaled(*scale), workload.FSCOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			*cached = e
+		}
+		return *cached
+	}
+
+	for _, id := range ids {
+		fmt.Printf("==== %s ====\n", id)
+		switch id {
+		case "fig1b":
+			workload.WriteViewCounts(os.Stdout, workload.ViewCounts([]float64{6, 3, 1, 0.1}))
+		case "opcount":
+			workload.WriteOpCount(os.Stdout, workload.OpCount(10, nil))
+		case "fig5":
+			workload.WriteFSC(os.Stdout, getFSC(workload.SindbisSpec()))
+		case "fig6":
+			workload.WriteFSC(os.Stdout, getFSC(workload.ReoSpec()))
+		case "fig23":
+			e := getFSC(workload.SindbisSpec())
+			writeSections(*outD, e)
+		case "sliding":
+			e := getFSC(workload.SindbisSpec())
+			workload.WriteSliding(os.Stdout, e.Spec.Name, e.New.PerLevel)
+		case "table1":
+			runTiming(workload.SindbisSpec().Scaled(*scale), *p)
+		case "table2":
+			runTiming(workload.ReoSpec().Scaled(*scale), *p)
+		case "cycle":
+			t, err := workload.RunTiming(workload.SindbisSpec().Scaled(*scale*1.5), workload.TimingOptions{P: *p})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cb := t.Cycle()
+			fmt.Printf("paper-scale cycle: refinement %.4g s, reconstruction %.4g s (%.1f%% of cycle; §5 reports <5%%)\n",
+				cb.RefinementSecs, cb.ReconstructionSecs, 100*cb.ReconstructionShare)
+		case "symdetect":
+			workload.WriteSymDetect(os.Stdout, workload.RunSymmetryDetection(32))
+		case "depth":
+			spec := workload.SindbisSpec().Scaled(*scale * 1.5)
+			rows, err := workload.DepthStudy(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			workload.WriteDepthStudy(os.Stdout, spec, rows)
+		case "convergence":
+			res, err := workload.RunConvergence(workload.SindbisSpec().Scaled(*scale*1.5), workload.FSCOptions{}, 4)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res.Write(os.Stdout)
+			fmt.Printf("converged (Δcc < 0.01 between final cycles): %t\n", res.Converged(0.01))
+		default:
+			log.Fatalf("unknown experiment %q", id)
+		}
+		fmt.Println()
+	}
+}
+
+func runTiming(spec workload.DatasetSpec, p int) {
+	t, err := workload.RunTiming(spec, workload.TimingOptions{P: p})
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload.WriteTiming(os.Stdout, t)
+}
+
+// writeSections exports the Figs. 2/3 artifacts: matched central
+// cross-sections of the truth, old-orientation and new-orientation
+// maps, plus summary statistics.
+func writeSections(dir string, e *workload.FSCExperiment) {
+	fmt.Printf("Figs. 2/3 — reconstructions with old vs new orientations (%s)\n", e.Spec.Name)
+	fmt.Printf("map correlation vs ground truth: old %.4f, new %.4f\n", e.Old.TruthCC, e.New.TruthCC)
+	if dir == "" {
+		fmt.Println("(pass -out DIR to export PGM cross-sections)")
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	z := e.Truth.L / 2
+	for _, item := range []struct {
+		name string
+		m    *volume.Grid
+	}{
+		{"truth", e.Truth}, {"old", e.Old.Map}, {"new", e.New.Map},
+	} {
+		path := filepath.Join(dir, fmt.Sprintf("fig2_%s_z%02d.pgm", item.name, z))
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := item.m.ZSection(z).WritePGM(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", path)
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: refine the orientation of a handful of simulated virus
+// views against a reference map, end to end, in a few seconds.
+//
+//	go run ./examples/quickstart
+//
+// The program builds a small asymmetric test particle, projects it at
+// random orientations with noise and centre jitter, perturbs the true
+// orientations to simulate the rough initial estimates a real pipeline
+// starts from, and runs the paper's sliding-window multi-resolution
+// refinement. It prints the per-view improvement and the work done.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/fourier"
+	"repro/internal/geom"
+	"repro/internal/micrograph"
+	"repro/internal/phantom"
+)
+
+func main() {
+	log.SetFlags(0)
+	const l = 32 // box size in pixels/voxels
+
+	// 1. Ground truth: a compact asymmetric particle.
+	truth := phantom.Asymmetric(l, 10, 1)
+	truth.SphericalMask(0.4 * l)
+
+	// 2. Simulated experimental views: noisy, off-centre projections.
+	ds := micrograph.Generate(truth, micrograph.GenParams{
+		NumViews:     8,
+		PixelA:       2.5,
+		SNR:          4,
+		CenterJitter: 1,
+		Seed:         1,
+	})
+
+	// 3. The reference spectrum the views are matched against:
+	//    the centred, 2x oversampled 3-D DFT of the current map.
+	dft := fourier.NewVolumeDFTPadded(truth, 2)
+
+	// 4. A refiner with the paper's default multi-resolution schedule
+	//    (1°, 0.1°, 0.01°, 0.002°).
+	refiner, err := core.NewRefiner(dft, core.DefaultConfig(l))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Rough initial orientations: truth perturbed by up to 2° per
+	//    Euler angle.
+	inits := ds.PerturbedOrientations(2, 7)
+
+	fmt.Printf("%4s %12s %12s %14s %10s\n", "view", "init err(°)", "final err(°)", "centre err(px)", "matchings")
+	var sumAng float64
+	for i, v := range ds.Views {
+		view, err := refiner.PrepareView(v.Image, v.CTF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := refiner.RefineView(view, inits[i])
+
+		angBefore := geom.AngularDistance(inits[i], v.TrueOrient)
+		angAfter := geom.AngularDistance(res.Orient, v.TrueOrient)
+		cenErr := math.Hypot(res.Center[0]+v.TrueCenter[0], res.Center[1]+v.TrueCenter[1])
+		sumAng += angAfter
+		fmt.Printf("%4d %12.3f %12.3f %14.3f %10d\n",
+			i, angBefore, angAfter, cenErr, res.TotalMatchings())
+	}
+	fmt.Printf("mean refined angular error: %.3f°\n", sumAng/float64(len(ds.Views)))
+}

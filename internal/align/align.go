@@ -1,0 +1,285 @@
+// Package align implements classical 2-D image alignment for particle
+// views: rotational alignment via polar-resampled Fourier magnitudes
+// (rotation-only, translation-invariant) and translational alignment
+// via phase correlation with sub-pixel peak interpolation. These are
+// the preprocessing primitives of the single-particle pipeline around
+// the paper — pre-aligning boxed particles and building class averages
+// before 3-D work begins.
+package align
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/fft"
+	"repro/internal/fourier"
+	"repro/internal/volume"
+)
+
+// RotationResult is the outcome of a rotational search.
+type RotationResult struct {
+	// AngleDeg is the in-plane rotation (degrees, counter-clockwise in
+	// (j,k) index convention) that best maps b onto a.
+	AngleDeg float64
+	// Score is the normalized correlation of the polar magnitude
+	// profiles at the optimum.
+	Score float64
+}
+
+// Rotation finds the in-plane rotation aligning b to a. The Fourier
+// magnitude of an image is invariant to translation and rotates with
+// the image, so the two magnitude patterns are resampled on polar
+// rings and circularly cross-correlated over the angle with a 1-D FFT.
+// Because magnitude profiles are centro-symmetric (a ±180° ambiguity)
+// and the correlation only pins the angle up to sign, the strongest
+// correlation peaks seed four candidate rotations each, which are
+// disambiguated by real-space correlation — making the result a true
+// rotation in [0, 360) and Score the real-space image correlation at
+// the optimum.
+//
+// nAngles sets the angular sampling of the polar profiles (e.g. 360
+// for 0.5° steps over the half-circle); rings span radii 2..rmax.
+func Rotation(a, b *volume.Image, nAngles int, rmax float64) (RotationResult, error) {
+	if a.L != b.L {
+		return RotationResult{}, fmt.Errorf("align: image sizes differ: %d vs %d", a.L, b.L)
+	}
+	if nAngles < 8 {
+		return RotationResult{}, fmt.Errorf("align: nAngles must be ≥ 8, got %d", nAngles)
+	}
+	if rmax <= 2 || rmax > float64(a.L)/2 {
+		rmax = float64(a.L) / 2
+	}
+	pa := polarMagnitude(fourier.ImageDFT(a), nAngles, rmax)
+	pb := polarMagnitude(fourier.ImageDFT(b), nAngles, rmax)
+
+	// Circular cross-correlation over angle, summed across rings, via
+	// the 1-D FFT: corr = IFFT(FFT(pa)·conj(FFT(pb))).
+	plan := fft.NewPlan(nAngles)
+	acc := make([]complex128, nAngles)
+	for ring := range pa {
+		fa := make([]complex128, nAngles)
+		fb := make([]complex128, nAngles)
+		for i := 0; i < nAngles; i++ {
+			fa[i] = complex(pa[ring][i], 0)
+			fb[i] = complex(pb[ring][i], 0)
+		}
+		plan.Forward(fa)
+		plan.Forward(fb)
+		for i := 0; i < nAngles; i++ {
+			acc[i] += fa[i] * complex(real(fb[i]), -imag(fb[i]))
+		}
+	}
+	plan.Inverse(acc)
+
+	// Top correlation peaks (local maxima), strongest first.
+	type peak struct {
+		idx int
+		val float64
+	}
+	var peaks []peak
+	for i := 0; i < nAngles; i++ {
+		v := real(acc[i])
+		if v >= real(acc[(i-1+nAngles)%nAngles]) && v > real(acc[(i+1)%nAngles]) {
+			peaks = append(peaks, peak{i, v})
+		}
+	}
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i].val > peaks[j].val })
+	if len(peaks) > 3 {
+		peaks = peaks[:3]
+	}
+
+	// Each peak pins the rotation up to sign and a 180° flip; test all
+	// four hypotheses in real space.
+	best := RotationResult{Score: math.Inf(-1)}
+	for _, p := range peaks {
+		prev := real(acc[(p.idx-1+nAngles)%nAngles])
+		next := real(acc[(p.idx+1)%nAngles])
+		base := (float64(p.idx) + parabolicVertex(prev, p.val, next)) * 180 / float64(nAngles)
+		for _, cand := range []float64{base, -base, base + 180, 180 - base} {
+			cand = math.Mod(cand+720, 360)
+			cc := volume.ImageCorrelation(a, Apply(b, cand, 0, 0))
+			if cc > best.Score {
+				best = RotationResult{AngleDeg: cand, Score: cc}
+			}
+		}
+	}
+	return best, nil
+}
+
+// polarMagnitude samples |F| on rings of radius 2..rmax at nAngles
+// angular steps.
+func polarMagnitude(f *volume.CImage, nAngles int, rmax float64) [][]float64 {
+	nr := int(rmax) - 1
+	out := make([][]float64, nr)
+	for ri := 0; ri < nr; ri++ {
+		r := float64(ri + 2)
+		row := make([]float64, nAngles)
+		for ai := 0; ai < nAngles; ai++ {
+			// Rings live on [0, π): the other half is the Friedel mate.
+			angle := float64(ai) * math.Pi / float64(nAngles)
+			s, c := math.Sincos(angle)
+			v := sampleC(f, r*c, r*s)
+			row[ai] = math.Hypot(real(v), imag(v))
+		}
+		out[ri] = row
+	}
+	return out
+}
+
+// sampleC bilinearly samples the centred transform at signed
+// frequency (h, k).
+func sampleC(f *volume.CImage, h, k float64) complex128 {
+	l := f.L
+	h0, k0 := int(math.Floor(h)), int(math.Floor(k))
+	fh, fk := h-float64(h0), k-float64(k0)
+	var sum complex128
+	for dh := 0; dh <= 1; dh++ {
+		wh := 1 - fh
+		if dh == 1 {
+			wh = fh
+		}
+		if wh == 0 {
+			continue
+		}
+		hi := wrapIdx(h0+dh, l)
+		for dk := 0; dk <= 1; dk++ {
+			wk := 1 - fk
+			if dk == 1 {
+				wk = fk
+			}
+			if wk == 0 {
+				continue
+			}
+			ki := wrapIdx(k0+dk, l)
+			sum += complex(wh*wk, 0) * f.Data[hi*l+ki]
+		}
+	}
+	return sum
+}
+
+func wrapIdx(f, l int) int {
+	f %= l
+	if f < 0 {
+		f += l
+	}
+	return f
+}
+
+// TranslationResult is the outcome of a translational search.
+type TranslationResult struct {
+	// DX and DY are the shift in pixels that maps b onto a:
+	// a(j,k) ≈ b(j−DX, k−DY).
+	DX, DY float64
+	// Score is the phase-correlation peak height (1 for identical
+	// images up to pure translation).
+	Score float64
+}
+
+// Translation finds the shift aligning b to a by phase correlation:
+// the normalized cross-power spectrum of two shifted copies is a pure
+// phase ramp whose inverse transform is a delta at the shift. The peak
+// is located to sub-pixel precision by per-axis parabolic fits.
+func Translation(a, b *volume.Image) (TranslationResult, error) {
+	if a.L != b.L {
+		return TranslationResult{}, fmt.Errorf("align: image sizes differ: %d vs %d", a.L, b.L)
+	}
+	l := a.L
+	fa := fourier.ImageDFT(a)
+	fb := fourier.ImageDFT(b)
+	cross := volume.NewCImage(l)
+	for i := range cross.Data {
+		v := fa.Data[i] * complex(real(fb.Data[i]), -imag(fb.Data[i]))
+		if m := math.Hypot(real(v), imag(v)); m > 1e-12 {
+			v /= complex(m, 0)
+		}
+		cross.Data[i] = v
+	}
+	fft.NewPlan2D(l, l).Inverse(cross.Data)
+	bestJ, bestK, bestVal := 0, 0, math.Inf(-1)
+	for j := 0; j < l; j++ {
+		for k := 0; k < l; k++ {
+			if v := real(cross.Data[j*l+k]); v > bestVal {
+				bestVal = v
+				bestJ, bestK = j, k
+			}
+		}
+	}
+	at := func(j, k int) float64 {
+		return real(cross.Data[wrapIdx(j, l)*l+wrapIdx(k, l)])
+	}
+	oj := parabolicVertex(at(bestJ-1, bestK), bestVal, at(bestJ+1, bestK))
+	ok := parabolicVertex(at(bestJ, bestK-1), bestVal, at(bestJ, bestK+1))
+	dx := signedShift(bestJ, l) + oj
+	dy := signedShift(bestK, l) + ok
+	return TranslationResult{DX: dx, DY: dy, Score: bestVal}, nil
+}
+
+// signedShift maps a correlation peak index to a signed shift.
+func signedShift(idx, l int) float64 {
+	if idx > l/2 {
+		return float64(idx - l)
+	}
+	return float64(idx)
+}
+
+// parabolicVertex fits a parabola through (−1, ym), (0, y0), (+1, yp)
+// and returns the vertex offset in [−0.5, 0.5].
+func parabolicVertex(ym, y0, yp float64) float64 {
+	den := ym - 2*y0 + yp
+	if den >= 0 {
+		return 0
+	}
+	off := 0.5 * (ym - yp) / den
+	return math.Max(-0.5, math.Min(0.5, off))
+}
+
+// Apply resamples image b by the given rotation (degrees, about the
+// image centre) and then shift, producing the aligned copy. Bilinear
+// sampling; pixels from outside are zero.
+func Apply(b *volume.Image, angleDeg, dx, dy float64) *volume.Image {
+	l := b.L
+	c := float64(l / 2)
+	s, co := math.Sincos(-angleDeg * math.Pi / 180) // inverse rotation
+	out := volume.NewImage(l)
+	for j := 0; j < l; j++ {
+		for k := 0; k < l; k++ {
+			u := float64(j) - c - dx
+			v := float64(k) - c - dy
+			sj := co*u - s*v + c
+			sk := s*u + co*v + c
+			out.Set(j, k, b.Interp(sj, sk))
+		}
+	}
+	return out
+}
+
+// ClassAverage aligns every image to the reference (rotation then
+// translation) and returns their pixel-wise mean — the classical way
+// to beat down noise before any 3-D work. nAngles and rmax parameterize
+// the rotational search. Images that fail to align are still included
+// (alignment never errors for same-size inputs), so the output always
+// averages len(images) aligned copies.
+func ClassAverage(ref *volume.Image, images []*volume.Image, nAngles int, rmax float64) (*volume.Image, error) {
+	if len(images) == 0 {
+		return nil, fmt.Errorf("align: no images to average")
+	}
+	sum := volume.NewImage(ref.L)
+	for _, im := range images {
+		rot, err := Rotation(ref, im, nAngles, rmax)
+		if err != nil {
+			return nil, err
+		}
+		derot := Apply(im, rot.AngleDeg, 0, 0)
+		tr, err := Translation(ref, derot)
+		if err != nil {
+			return nil, err
+		}
+		aligned := Apply(derot, 0, tr.DX, tr.DY)
+		for i, v := range aligned.Data {
+			sum.Data[i] += v
+		}
+	}
+	sum.Scale(1 / float64(len(images)))
+	return sum, nil
+}

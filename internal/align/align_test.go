@@ -1,0 +1,189 @@
+package align
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/phantom"
+	"repro/internal/projection"
+	"repro/internal/volume"
+)
+
+// testImage builds a compact asymmetric test image by projecting an
+// asymmetric phantom.
+func testImage(l int) *volume.Image {
+	g := phantom.Asymmetric(l, 8, 1)
+	g.SphericalMask(0.38 * float64(l))
+	return projection.Real(g, geom.Euler{Theta: 40, Phi: 70, Omega: 15})
+}
+
+func TestTranslationInteger(t *testing.T) {
+	a := testImage(32)
+	for _, shift := range [][2]float64{{3, -2}, {-5, 4}, {0, 0}, {7, 7}} {
+		b := a.Shift(-shift[0], -shift[1]) // b shifted so a(j,k)=b(j-dx,k-dy)
+		res, err := Translation(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.DX-shift[0]) > 0.3 || math.Abs(res.DY-shift[1]) > 0.3 {
+			t.Errorf("shift %v: found (%.2f, %.2f)", shift, res.DX, res.DY)
+		}
+	}
+}
+
+func TestTranslationSubPixel(t *testing.T) {
+	a := testImage(32)
+	b := a.Shift(-1.4, 2.3)
+	res, err := Translation(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DX-1.4) > 0.35 || math.Abs(res.DY+2.3) > 0.35 {
+		t.Fatalf("sub-pixel shift found (%.2f, %.2f), want (1.4, -2.3)", res.DX, res.DY)
+	}
+}
+
+func TestTranslationScoreIdentical(t *testing.T) {
+	a := testImage(24)
+	res, err := Translation(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.DX) > 1e-6 || math.Abs(res.DY) > 1e-6 {
+		t.Fatalf("identical images report shift (%.3f, %.3f)", res.DX, res.DY)
+	}
+	if res.Score < 0.9 {
+		t.Fatalf("identical-image phase correlation peak %.3f", res.Score)
+	}
+}
+
+func circDist(a, b float64) float64 {
+	d := math.Mod(math.Abs(a-b), 360)
+	if d > 180 {
+		d = 360 - d
+	}
+	return d
+}
+
+func TestRotationRecovery(t *testing.T) {
+	a := testImage(40)
+	for _, angle := range []float64{10, 45, 90, 137, 230, 317} {
+		b := Apply(a, -angle, 0, 0) // rotate a by −angle: aligning b back needs +angle
+		res, err := Rotation(a, b, 360, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := circDist(res.AngleDeg, angle); d > 3 {
+			t.Errorf("angle %g: found %.1f° (err %.1f°, score %.3f)", angle, res.AngleDeg, d, res.Score)
+		}
+		if res.Score < 0.8 {
+			t.Errorf("angle %g: low real-space score %.3f", angle, res.Score)
+		}
+	}
+}
+
+func TestRotationTranslationInvariance(t *testing.T) {
+	// The rotational search must tolerate an unknown translation —
+	// that is the point of using Fourier magnitudes.
+	a := testImage(40)
+	b := Apply(a, -60, 2.5, -1.5)
+	res, err := Rotation(a, b, 360, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := circDist(res.AngleDeg, 60); d > 4 {
+		t.Fatalf("rotation under translation: found %.1f°, want 60°", res.AngleDeg)
+	}
+}
+
+func TestApplyRoundTrip(t *testing.T) {
+	a := testImage(32)
+	b := Apply(a, 30, 2, -1)
+	back := Apply(b, -30, 0, 0)
+	// Undo the shift: rotating by −30 maps the rotated content back;
+	// then shift by the rotated offset. Just check alignment end to
+	// end instead: align b to a and apply the inverse.
+	res, err := Translation(a, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	realigned := Apply(b, -30, -res.DX, -res.DY)
+	_ = realigned
+	if cc := volume.ImageCorrelation(a, Apply(b, -30, res.DX, res.DY)); cc < 0.9 {
+		// Either sign convention must recover most of the image.
+		if cc2 := volume.ImageCorrelation(a, realigned); cc2 < 0.9 {
+			t.Fatalf("apply/align round trip correlations %.3f / %.3f", cc, cc2)
+		}
+	}
+}
+
+func TestAlignmentPipeline(t *testing.T) {
+	// Full 2-D alignment: recover rotation, undo it, recover shift,
+	// undo it — the aligned copy must match the reference.
+	a := testImage(40)
+	b := Apply(a, -75, 3, 2)
+	rot, err := Rotation(a, b, 720, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derotated := Apply(b, rot.AngleDeg, 0, 0)
+	tr, err := Translation(a, derotated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned := Apply(derotated, 0, tr.DX, tr.DY)
+	if cc := volume.ImageCorrelation(a, aligned); cc < 0.85 {
+		t.Fatalf("aligned correlation %.3f (rot %.1f°, shift %.2f,%.2f)",
+			cc, rot.AngleDeg, tr.DX, tr.DY)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	a := volume.NewImage(16)
+	b := volume.NewImage(18)
+	if _, err := Rotation(a, b, 360, 6); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := Rotation(a, a, 4, 6); err == nil {
+		t.Fatal("tiny nAngles accepted")
+	}
+	if _, err := Translation(a, b); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestClassAverageBeatsSingleImage(t *testing.T) {
+	// Noisy rotated/shifted copies of one view, aligned and averaged,
+	// must resemble the clean view more than any single noisy copy.
+	rng := rand.New(rand.NewSource(3))
+	clean := testImage(36)
+	_, _, _, std := clean.Stats()
+	var noisy []*volume.Image
+	for i := 0; i < 8; i++ {
+		im := Apply(clean, -float64(i*40), float64(i%3)-1, float64(i%2))
+		for j := range im.Data {
+			im.Data[j] += std * rng.NormFloat64()
+		}
+		noisy = append(noisy, im)
+	}
+	avg, err := ClassAverage(clean, noisy, 360, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccAvg := volume.ImageCorrelation(clean, avg)
+	ccOne := volume.ImageCorrelation(clean, Apply(noisy[0], 0, 0, 0))
+	if ccAvg <= ccOne {
+		t.Fatalf("class average (%.3f) not better than one noisy copy (%.3f)", ccAvg, ccOne)
+	}
+	if ccAvg < 0.85 {
+		t.Fatalf("class average correlation %.3f too low", ccAvg)
+	}
+}
+
+func TestClassAverageEmpty(t *testing.T) {
+	if _, err := ClassAverage(testImage(16), nil, 90, 6); err == nil {
+		t.Fatal("empty image list accepted")
+	}
+}

@@ -1,0 +1,130 @@
+// Package baseline implements the comparison methods the paper
+// measures its contribution against:
+//
+//   - the "old" production refinement that exploits known icosahedral
+//     symmetry but stops at a coarser angular accuracy (the source of
+//     the paper's "old orientation" curves in Figs. 5 and 6);
+//   - a flat single-resolution exhaustive search (the strawman whose
+//     operation count §4 compares against);
+//   - a common-lines estimator for initial pairwise orientation
+//     geometry (the classical ab-initio method of the paper's ref [2]).
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ctf"
+	"repro/internal/fourier"
+	"repro/internal/geom"
+	"repro/internal/volume"
+)
+
+// OldConfig configures the legacy symmetry-exploiting refinement.
+type OldConfig struct {
+	// Group is the assumed point symmetry (icosahedral for the
+	// paper's datasets). Orientations are reduced into its asymmetric
+	// unit, which is what symmetry-aware programs search.
+	Group *geom.Group
+	// FloorAngular is the finest angular resolution the legacy method
+	// reaches (paper-era programs stopped near 0.1°).
+	FloorAngular float64
+	// FloorCenter is the finest centre step in pixels (legacy: whole
+	// or half pixels).
+	FloorCenter float64
+	// RMap bounds the comparison band, as in core.Config.
+	RMap float64
+	// Interp selects cut interpolation.
+	Interp fourier.Interpolation
+}
+
+// DefaultOldConfig returns the legacy setup for maps of size l:
+// icosahedral symmetry, 0.1° angular floor, half-pixel centres.
+func DefaultOldConfig(l int) OldConfig {
+	return OldConfig{
+		Group:        geom.Icosahedral(),
+		FloorAngular: 0.1,
+		FloorCenter:  0.5,
+		RMap:         0.8 * float64(l) / 2,
+		Interp:       fourier.Trilinear,
+	}
+}
+
+// OldRefine runs the legacy refinement: the same Fourier matching
+// machinery, but with the schedule truncated at the legacy accuracy
+// floor and all orientations folded into the symmetry group's
+// asymmetric unit. The result plays the role of the "previously
+// determined orientations" of the paper's experiments.
+func OldRefine(dft *fourier.VolumeDFT, views []*volume.Image, ctfs []ctf.Params, inits []geom.Euler, cfg OldConfig) ([]core.Result, error) {
+	if cfg.Group == nil {
+		return nil, fmt.Errorf("baseline: OldConfig.Group is required")
+	}
+	if cfg.FloorAngular <= 0 {
+		return nil, fmt.Errorf("baseline: FloorAngular must be positive")
+	}
+	var schedule []core.Level
+	for _, lv := range core.DefaultSchedule() {
+		if lv.RAngular < cfg.FloorAngular {
+			break
+		}
+		if lv.CenterDelta < cfg.FloorCenter {
+			lv.CenterDelta = cfg.FloorCenter
+		}
+		schedule = append(schedule, lv)
+	}
+	ccfg := core.Config{
+		RMap:           cfg.RMap,
+		Schedule:       schedule,
+		Interp:         cfg.Interp,
+		MaxSlides:      10,
+		NormalizeScale: true,
+		// Legacy programs located centres on the search grid only.
+		ParabolicCenter: false,
+	}
+	r, err := core.NewRefiner(dft, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]core.Result, len(views))
+	for i, im := range views {
+		var p ctf.Params
+		if ctfs != nil {
+			p = ctfs[i]
+		}
+		v, err := r.PrepareView(im, p)
+		if err != nil {
+			return nil, err
+		}
+		// The legacy program searches the asymmetric unit only.
+		init := cfg.Group.Reduce(inits[i])
+		res := r.RefineView(v, init)
+		res.Orient = cfg.Group.Reduce(res.Orient)
+		results[i] = res
+	}
+	return results, nil
+}
+
+// FlatSearch performs the naive single-resolution exhaustive search of
+// §4's comparison: every orientation of the window around init at the
+// final angular resolution, no multi-resolution laddering. Returns the
+// best orientation and the number of matching operations — which is
+// what makes the multi-resolution saving measurable.
+func FlatSearch(dft *fourier.VolumeDFT, im *volume.Image, p ctf.Params, init geom.Euler, half, step float64, rmap float64) (geom.Euler, int, error) {
+	cfg := core.Config{
+		RMap:           rmap,
+		Schedule:       []core.Level{{RAngular: step, WindowHalf: half}},
+		Interp:         fourier.Trilinear,
+		MaxSlides:      0,
+		NormalizeScale: true,
+	}
+	r, err := core.NewRefiner(dft, cfg)
+	if err != nil {
+		return geom.Euler{}, 0, err
+	}
+	v, err := r.PrepareView(im, p)
+	if err != nil {
+		return geom.Euler{}, 0, err
+	}
+	res := r.RefineView(v, init)
+	return res.Orient, res.TotalMatchings(), nil
+}

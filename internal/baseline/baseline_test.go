@@ -1,0 +1,140 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ctf"
+	"repro/internal/fourier"
+	"repro/internal/geom"
+	"repro/internal/micrograph"
+	"repro/internal/phantom"
+)
+
+func TestOldRefineImprovesButCoarsely(t *testing.T) {
+	l := 32
+	truth := phantom.SindbisLike(l)
+	ds := micrograph.Generate(truth, micrograph.GenParams{NumViews: 4, PixelA: 2, Seed: 1})
+	dft := fourier.NewVolumeDFTPadded(truth, 2)
+	inits := ds.PerturbedOrientations(2, 2)
+	cfg := DefaultOldConfig(l)
+	results, err := OldRefine(dft, ds.Images(), nil, inits, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Group
+	for i, res := range results {
+		// Results live in the asymmetric unit; compare against the
+		// reduced truth.
+		want := g.Reduce(ds.Views[i].TrueOrient)
+		got := res.Orient
+		// Compare as orbits: distance to the nearest symmetry mate.
+		best := math.Inf(1)
+		for _, mate := range g.Orbit(want) {
+			if d := geom.AngularDistance(got, mate); d < best {
+				best = d
+			}
+		}
+		if best > 1.0 {
+			t.Errorf("view %d: legacy refinement error %.3f°", i, best)
+		}
+	}
+}
+
+func TestOldRefineValidation(t *testing.T) {
+	l := 16
+	truth := phantom.Asymmetric(l, 4, 1)
+	dft := fourier.NewVolumeDFT(truth)
+	if _, err := OldRefine(dft, nil, nil, nil, OldConfig{FloorAngular: 0.1}); err == nil {
+		t.Fatal("missing group accepted")
+	}
+	if _, err := OldRefine(dft, nil, nil, nil, OldConfig{Group: geom.Cyclic(1)}); err == nil {
+		t.Fatal("zero floor accepted")
+	}
+}
+
+func TestFlatSearchFindsOrientation(t *testing.T) {
+	l := 24
+	truth := phantom.Asymmetric(l, 8, 1)
+	truth.SphericalMask(0.4 * float64(l))
+	ds := micrograph.Generate(truth, micrograph.GenParams{NumViews: 1, PixelA: 2, Seed: 3})
+	dft := fourier.NewVolumeDFTPadded(truth, 2)
+	v := ds.Views[0]
+	init := v.TrueOrient.Add(geom.Euler{Theta: 1.2, Phi: -0.8, Omega: 0.5})
+	best, matchings, err := FlatSearch(dft, v.Image, ctf.Params{}, init, 2, 0.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := geom.AngularDistance(best, v.TrueOrient); d > 1.2 {
+		t.Fatalf("flat search missed by %.2f°", d)
+	}
+	// ±2° at 0.5°: 9 samples per axis = 729 matchings.
+	if matchings != 9*9*9 {
+		t.Fatalf("flat search did %d matchings, want 729", matchings)
+	}
+}
+
+func TestCommonLineOnCleanViews(t *testing.T) {
+	l := 32
+	truth := phantom.Asymmetric(l, 8, 1)
+	truth.SphericalMask(0.4 * float64(l))
+	ds := micrograph.Generate(truth, micrograph.GenParams{NumViews: 2, PixelA: 2, Seed: 4})
+	a, b := ds.Views[0], ds.Views[1]
+	wantA, wantB, ok := TrueCommonLine(a.TrueOrient, b.TrueOrient)
+	if !ok {
+		t.Skip("degenerate pair")
+	}
+	res := CommonLine(a.Image, b.Image, 180, 10)
+	// Lines are axial (180° periodic); allow the wrap.
+	angErr := func(got, want float64) float64 {
+		d := math.Abs(got - want)
+		if d > 90 {
+			d = 180 - d
+		}
+		return d
+	}
+	if angErr(res.AlphaA, wantA) > 4 || angErr(res.AlphaB, wantB) > 4 {
+		t.Fatalf("common line (%0.1f°, %0.1f°), want (%0.1f°, %0.1f°), score %.3f",
+			res.AlphaA, res.AlphaB, wantA, wantB, res.Score)
+	}
+	if res.Score < 0.9 {
+		t.Fatalf("clean common-line score %.3f", res.Score)
+	}
+}
+
+func TestCommonLineDegradesWithNoise(t *testing.T) {
+	// The paper motivates projection matching as "less sensitive to
+	// the noise caused by experimental errors" than common lines:
+	// verify that the common-line score collapses under noise.
+	l := 32
+	truth := phantom.Asymmetric(l, 8, 1)
+	truth.SphericalMask(0.4 * float64(l))
+	clean := micrograph.Generate(truth, micrograph.GenParams{NumViews: 2, PixelA: 2, Seed: 5})
+	noisy := micrograph.Generate(truth, micrograph.GenParams{NumViews: 2, PixelA: 2, Seed: 5, SNR: 0.3})
+	sClean := CommonLine(clean.Views[0].Image, clean.Views[1].Image, 90, 10).Score
+	sNoisy := CommonLine(noisy.Views[0].Image, noisy.Views[1].Image, 90, 10).Score
+	if sNoisy >= sClean {
+		t.Fatalf("noise did not degrade common-line score: %.3f vs %.3f", sNoisy, sClean)
+	}
+}
+
+func TestTrueCommonLineDegenerate(t *testing.T) {
+	if _, _, ok := TrueCommonLine(geom.Euler{}, geom.Euler{Omega: 45}); ok {
+		t.Fatal("parallel views should have no unique common line")
+	}
+}
+
+func TestTrueCommonLineOrthogonalViews(t *testing.T) {
+	// Views along Z and along X intersect along the Y axis.
+	oa := geom.Euler{}          // view axis Z; image axes X, Y
+	ob := geom.Euler{Theta: 90} // view axis X; image axes -Z?, Y
+	alphaA, alphaB, ok := TrueCommonLine(oa, ob)
+	if !ok {
+		t.Fatal("orthogonal views must share a line")
+	}
+	// The common line is ±Y: in view A (axes X,Y) that is 90°.
+	if math.Abs(alphaA-90) > 1e-6 {
+		t.Fatalf("alphaA = %g, want 90", alphaA)
+	}
+	_ = alphaB // direction within view B depends on its axis convention
+}

@@ -1,0 +1,152 @@
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/fourier"
+	"repro/internal/geom"
+	"repro/internal/volume"
+)
+
+// CommonLineResult is the outcome of a pairwise common-line search.
+type CommonLineResult struct {
+	// AlphaA and AlphaB are the in-plane angles (degrees, in [0,180))
+	// of the common line in views A and B respectively.
+	AlphaA, AlphaB float64
+	// Score is the normalized correlation of the two central lines at
+	// the optimum.
+	Score float64
+}
+
+// CommonLine finds the common line between two views by exhaustive
+// search over central-line angle pairs: the 2-D DFTs of two
+// projections of the same object agree (up to noise) along the line
+// where their central sections intersect in 3-D Fourier space. This is
+// the geometric primitive of the classical common-lines method for
+// ab-initio orientation determination (paper ref [2]); the paper's
+// refinement replaces it because it is noise-sensitive — which the
+// package tests demonstrate directly.
+//
+// nAngles is the angular sampling of [0°, 180°) per view; rmax bounds
+// the radial extent of each line. Lines are sampled from the centred
+// transforms by bilinear interpolation.
+func CommonLine(a, b *volume.Image, nAngles int, rmax float64) CommonLineResult {
+	fa := fourier.ImageDFT(a)
+	fb := fourier.ImageDFT(b)
+	la := extractLines(fa, nAngles, rmax)
+	lb := extractLines(fb, nAngles, rmax)
+	best := CommonLineResult{Score: math.Inf(-1)}
+	for i := 0; i < nAngles; i++ {
+		for j := 0; j < nAngles; j++ {
+			s := lineCorrelation(la[i], lb[j])
+			if s > best.Score {
+				best = CommonLineResult{
+					AlphaA: float64(i) * 180 / float64(nAngles),
+					AlphaB: float64(j) * 180 / float64(nAngles),
+					Score:  s,
+				}
+			}
+		}
+	}
+	return best
+}
+
+// extractLines samples the central line of the transform at nAngles
+// angles over [0°, 180°). Each line holds complex samples at radii
+// 1..rmax (DC excluded: it is common to all lines and carries no
+// angular information).
+func extractLines(f *volume.CImage, nAngles int, rmax float64) [][]complex128 {
+	nr := int(rmax)
+	out := make([][]complex128, nAngles)
+	for i := range out {
+		angle := float64(i) * math.Pi / float64(nAngles)
+		s, c := math.Sincos(angle)
+		line := make([]complex128, 2*nr)
+		for r := 1; r <= nr; r++ {
+			// Sample at +r and −r: a central line is Hermitian, but
+			// keeping both halves makes the correlation phase-aware.
+			line[r-1] = sampleCImage(f, c*float64(r), s*float64(r))
+			line[nr+r-1] = sampleCImage(f, -c*float64(r), -s*float64(r))
+		}
+		out[i] = line
+	}
+	return out
+}
+
+// sampleCImage bilinearly interpolates the centred transform at signed
+// frequency (h, k).
+func sampleCImage(f *volume.CImage, h, k float64) complex128 {
+	l := f.L
+	h0, k0 := int(math.Floor(h)), int(math.Floor(k))
+	fh, fk := h-float64(h0), k-float64(k0)
+	var sum complex128
+	for dh := 0; dh <= 1; dh++ {
+		wh := 1 - fh
+		if dh == 1 {
+			wh = fh
+		}
+		if wh == 0 {
+			continue
+		}
+		hi := wrapFreqIdx(h0+dh, l)
+		for dk := 0; dk <= 1; dk++ {
+			wk := 1 - fk
+			if dk == 1 {
+				wk = fk
+			}
+			if wk == 0 {
+				continue
+			}
+			ki := wrapFreqIdx(k0+dk, l)
+			sum += complex(wh*wk, 0) * f.Data[hi*l+ki]
+		}
+	}
+	return sum
+}
+
+func wrapFreqIdx(f, l int) int {
+	f %= l
+	if f < 0 {
+		f += l
+	}
+	return f
+}
+
+// lineCorrelation is the normalized real correlation of two complex
+// line samples.
+func lineCorrelation(a, b []complex128) float64 {
+	var cross, ea, eb float64
+	for i := range a {
+		cross += real(a[i])*real(b[i]) + imag(a[i])*imag(b[i])
+		ea += real(a[i])*real(a[i]) + imag(a[i])*imag(a[i])
+		eb += real(b[i])*real(b[i]) + imag(b[i])*imag(b[i])
+	}
+	den := math.Sqrt(ea * eb)
+	if den == 0 {
+		return 0
+	}
+	return cross / den
+}
+
+// TrueCommonLine computes the geometrically exact common-line angles
+// for two known orientations: the central sections intersect along the
+// direction d = ẑ'_A × ẑ'_B, whose in-plane angle in view V is the
+// angle of (d·x̂'_V, d·ŷ'_V). Angles are reported in [0°, 180°).
+// ok is false when the views are (anti-)parallel and no unique common
+// line exists.
+func TrueCommonLine(oa, ob geom.Euler) (alphaA, alphaB float64, ok bool) {
+	ra, rb := oa.Matrix(), ob.Matrix()
+	d := ra.Col(2).Cross(rb.Col(2))
+	if d.Norm() < 1e-9 {
+		return 0, 0, false
+	}
+	d = d.Unit()
+	angleIn := func(r geom.Mat3) float64 {
+		x := d.Dot(r.Col(0))
+		y := d.Dot(r.Col(1))
+		a := geom.RadToDeg(math.Atan2(y, x))
+		a = math.Mod(a+360, 180)
+		return a
+	}
+	return angleIn(ra), angleIn(rb), true
+}

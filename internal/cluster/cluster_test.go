@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func testModel() CostModel {
+	return CostModel{LatencySec: 1e-5, BytesPerSec: 1e8, FlopsPerSec: 1e8}
+}
+
+func TestPointToPoint(t *testing.T) {
+	c := New(2, testModel())
+	stats := c.Run(func(n *Node) {
+		if n.Rank == 0 {
+			n.Send(1, 7, []float64{1, 2, 3}, 24)
+		} else {
+			got := n.Recv(0, 7).([]float64)
+			if len(got) != 3 || got[2] != 3 {
+				t.Error("payload corrupted")
+			}
+		}
+	})
+	// Receiver's clock must include latency + transfer time.
+	want := testModel().MessageTime(24)
+	if stats[1].Elapsed < want {
+		t.Errorf("receiver elapsed %g < message time %g", stats[1].Elapsed, want)
+	}
+	if stats[0].BytesSent != 24 || stats[0].Messages != 1 {
+		t.Errorf("sender stats: %+v", stats[0])
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	c := New(1, testModel())
+	stats := c.Run(func(n *Node) {
+		n.Compute(1e8) // exactly one second at 1e8 flop/s
+	})
+	if math.Abs(stats[0].Elapsed-1) > 1e-12 {
+		t.Fatalf("elapsed %g, want 1", stats[0].Elapsed)
+	}
+	if stats[0].ComputeTime != stats[0].Elapsed {
+		t.Fatal("compute time not attributed")
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	c := New(4, testModel())
+	stats := c.Run(func(n *Node) {
+		n.Compute(float64(n.Rank) * 1e8) // rank r works r seconds
+		n.Barrier("sync")
+	})
+	// All clocks must be ≥ the slowest rank (3 s).
+	for _, s := range stats {
+		if s.Elapsed < 3 {
+			t.Fatalf("rank %d elapsed %g, want ≥3", s.Rank, s.Elapsed)
+		}
+	}
+	// The slow rank's wait is attributed to comm on fast ranks.
+	if stats[0].CommTime < 3-1e-9 {
+		t.Errorf("rank 0 comm time %g, want ≈3", stats[0].CommTime)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	c := New(5, testModel())
+	c.Run(func(n *Node) {
+		var v interface{}
+		if n.Rank == 2 {
+			v = "payload"
+		}
+		got := n.Bcast("b", 2, v, 8)
+		if got.(string) != "payload" {
+			t.Errorf("rank %d got %v", n.Rank, got)
+		}
+	})
+}
+
+func TestAllGather(t *testing.T) {
+	c := New(4, testModel())
+	c.Run(func(n *Node) {
+		all := n.AllGather("ag", n.Rank*10, 8)
+		for i, v := range all {
+			if v.(int) != i*10 {
+				t.Errorf("rank %d: slot %d = %v", n.Rank, i, v)
+			}
+		}
+	})
+}
+
+func TestAllToAll(t *testing.T) {
+	c := New(3, testModel())
+	c.Run(func(n *Node) {
+		parts := make([]interface{}, 3)
+		for i := range parts {
+			parts[i] = n.Rank*100 + i // destined for rank i
+		}
+		got := n.AllToAll("a2a", parts, 8)
+		for src, v := range got {
+			want := src*100 + n.Rank
+			if v.(int) != want {
+				t.Errorf("rank %d from %d: got %v want %d", n.Rank, src, v, want)
+			}
+		}
+	})
+}
+
+func TestScatterGather(t *testing.T) {
+	c := New(4, testModel())
+	c.Run(func(n *Node) {
+		var parts []interface{}
+		if n.Rank == 0 {
+			parts = []interface{}{"a", "b", "c", "d"}
+		}
+		mine := n.Scatter("s", 0, parts, 8).(string)
+		want := string(rune('a' + n.Rank))
+		if mine != want {
+			t.Errorf("rank %d scattered %q, want %q", n.Rank, mine, want)
+		}
+		all := n.Gather("g", 0, mine+"!", 8)
+		if n.Rank == 0 {
+			for i, v := range all {
+				if v.(string) != string(rune('a'+i))+"!" {
+					t.Errorf("gather slot %d = %v", i, v)
+				}
+			}
+		} else if all != nil {
+			t.Errorf("non-root rank %d got gather result", n.Rank)
+		}
+	})
+}
+
+func TestReduceMaxSum(t *testing.T) {
+	c := New(6, testModel())
+	c.Run(func(n *Node) {
+		if got := n.ReduceMax("m", float64(n.Rank)); got != 5 {
+			t.Errorf("ReduceMax = %g", got)
+		}
+		if got := n.ReduceSum("s", 1); got != 6 {
+			t.Errorf("ReduceSum = %g", got)
+		}
+	})
+}
+
+func TestCollectivesInLoop(t *testing.T) {
+	// Repeated collectives under the same name must work via
+	// generations.
+	c := New(3, testModel())
+	c.Run(func(n *Node) {
+		for i := 0; i < 50; i++ {
+			sum := n.ReduceSum("loop", float64(i))
+			if sum != float64(3*i) {
+				t.Errorf("iteration %d: sum %g", i, sum)
+				return
+			}
+		}
+	})
+}
+
+func TestAllRanksRun(t *testing.T) {
+	var count int64
+	c := New(8, testModel())
+	c.Run(func(n *Node) {
+		atomic.AddInt64(&count, 1)
+	})
+	if count != 8 {
+		t.Fatalf("%d ranks ran, want 8", count)
+	}
+}
+
+func TestScatterTimingMonotoneInRank(t *testing.T) {
+	// The master-distributes model serves ranks sequentially: later
+	// ranks wait longer.
+	c := New(4, testModel())
+	stats := c.Run(func(n *Node) {
+		var parts []interface{}
+		if n.Rank == 0 {
+			parts = []interface{}{0, 1, 2, 3}
+		}
+		n.Scatter("st", 0, parts, 1000)
+	})
+	if !(stats[1].Elapsed < stats[2].Elapsed && stats[2].Elapsed < stats[3].Elapsed) {
+		t.Fatalf("scatter service times not monotone: %v %v %v",
+			stats[1].Elapsed, stats[2].Elapsed, stats[3].Elapsed)
+	}
+}
+
+func TestMessageTimeModel(t *testing.T) {
+	m := CostModel{LatencySec: 2, BytesPerSec: 10}
+	if got := m.MessageTime(30); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("MessageTime = %g, want 5", got)
+	}
+}
+
+func TestMaxElapsed(t *testing.T) {
+	s := []Stats{{Elapsed: 1}, {Elapsed: 7}, {Elapsed: 3}}
+	if MaxElapsed(s) != 7 {
+		t.Fatal("MaxElapsed wrong")
+	}
+}
+
+func TestSingleNodeCollectives(t *testing.T) {
+	c := New(1, testModel())
+	c.Run(func(n *Node) {
+		n.Barrier("b")
+		if got := n.Bcast("bc", 0, 42, 8).(int); got != 42 {
+			t.Errorf("bcast on P=1: %d", got)
+		}
+		all := n.AllGather("ag", 9, 8)
+		if len(all) != 1 || all[0].(int) != 9 {
+			t.Errorf("allgather on P=1: %v", all)
+		}
+	})
+}

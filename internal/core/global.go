@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// GlobalSearchConfig controls ab-initio orientation determination.
+type GlobalSearchConfig struct {
+	// StepDeg is the coarse sampling of the view sphere and of the
+	// in-plane angle ω. 12° scans ~10⁴ orientations for an
+	// asymmetric particle.
+	StepDeg float64
+	// TopK is how many coarse candidates are refined through the full
+	// multi-resolution schedule; the best final distance wins.
+	// Multiple seeds protect against coarse-grid aliasing.
+	TopK int
+	// Symmetry, when non-nil, restricts the coarse scan to the
+	// group's asymmetric unit — the classical speed-up for particles
+	// of known symmetry (Fig. 1b).
+	Symmetry *geom.Group
+}
+
+// DefaultGlobalSearchConfig scans at 12° and refines the best 4
+// candidates.
+func DefaultGlobalSearchConfig() GlobalSearchConfig {
+	return GlobalSearchConfig{StepDeg: 12, TopK: 4}
+}
+
+// GlobalSearch determines a view's orientation with no prior estimate:
+// a coarse scan over the whole orientation space (or the symmetry
+// group's asymmetric unit) ranks candidates by matching distance, and
+// the best TopK are refined through the full schedule. This extends
+// the paper's refinement into the initial-assignment regime that its
+// introduction attributes to slower classical methods.
+//
+// The view is not mutated; centre refinements run on private copies.
+func (r *Refiner) GlobalSearch(v *View, cfg GlobalSearchConfig) (Result, error) {
+	if cfg.StepDeg <= 0 {
+		return Result{}, fmt.Errorf("core: StepDeg must be positive, got %g", cfg.StepDeg)
+	}
+	if cfg.TopK < 1 {
+		return Result{}, fmt.Errorf("core: TopK must be ≥ 1, got %d", cfg.TopK)
+	}
+	// Coarse scan on the low-frequency prefix with magnitude-only
+	// matching: cheap, smooth, and — critically — invariant to any
+	// residual centre error in freshly boxed particles.
+	n := r.m.prefixLen(0.5 * r.cfg.RMap)
+	if n == 0 {
+		n = len(r.m.band)
+	}
+	type scored struct {
+		o geom.Euler
+		d float64
+	}
+	var dirs []geom.Euler
+	for _, e := range geom.SphereGrid(cfg.StepDeg) {
+		if cfg.Symmetry != nil && !cfg.Symmetry.InAsymmetricUnit(e.ViewAxis()) {
+			continue
+		}
+		dirs = append(dirs, e)
+	}
+	nOmega := int(math.Max(1, math.Round(360/cfg.StepDeg)))
+
+	// Scan in parallel: the candidate set is large and independent.
+	workers := runtime.GOMAXPROCS(0)
+	results := make([][]scored, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []scored
+			for i := w; i < len(dirs); i += workers {
+				for k := 0; k < nOmega; k++ {
+					o := geom.Euler{
+						Theta: dirs[i].Theta,
+						Phi:   dirs[i].Phi,
+						Omega: float64(k) * cfg.StepDeg,
+					}
+					local = append(local, scored{o, r.m.magDistance(v.vd, o, n)})
+				}
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	var all []scored
+	for _, rs := range results {
+		all = append(all, rs...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+
+	// Re-rank the magnitude shortlist with the full phase-aware
+	// distance. When the view is already well centred the phase
+	// ranking is far sharper; when it is mis-centred the magnitude
+	// ranking keeps the right basin in the pool. Seeds are drawn
+	// alternately from both rankings.
+	shortlist := all
+	if len(shortlist) > 50*cfg.TopK {
+		shortlist = shortlist[:50*cfg.TopK]
+	}
+	phased := make([]scored, len(shortlist))
+	for i, s := range shortlist {
+		phased[i] = scored{s.o, r.m.distance(v.vd, s.o, n)}
+	}
+	sort.Slice(phased, func(a, b int) bool { return phased[a].d < phased[b].d })
+
+	// Keep TopK well-separated candidates (≥ 2 steps apart) so the
+	// refinement seeds explore distinct basins.
+	var seeds []geom.Euler
+	addSeed := func(o geom.Euler) bool {
+		for _, prev := range seeds {
+			if geom.AngularDistance(o, prev) < 2*cfg.StepDeg {
+				return false
+			}
+		}
+		seeds = append(seeds, o)
+		return true
+	}
+	for i := 0; len(seeds) < cfg.TopK && (i < len(phased) || i < len(all)); i++ {
+		if i < len(phased) {
+			addSeed(phased[i].o)
+		}
+		if len(seeds) < cfg.TopK && i < len(all) {
+			addSeed(all[i].o)
+		}
+	}
+
+	best := Result{Distance: math.Inf(1)}
+	for _, seed := range seeds {
+		// Private copy: RefineView bakes centre shifts into the view.
+		vc := &View{vd: v.vd.clone()}
+		res := r.RefineView(vc, seed)
+		if res.Distance < best.Distance {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// clone deep-copies the per-view matching state.
+func (vd *viewData) clone() *viewData {
+	out := &viewData{
+		vals:    append([]complex128(nil), vd.vals...),
+		prefixE: append([]float64(nil), vd.prefixE...),
+	}
+	if vd.refW != nil {
+		out.refW = append([]float64(nil), vd.refW...)
+	}
+	return out
+}

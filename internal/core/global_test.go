@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fourier"
+	"repro/internal/geom"
+	"repro/internal/micrograph"
+	"repro/internal/phantom"
+)
+
+func TestGlobalSearchAsymmetric(t *testing.T) {
+	l := 28
+	truth := phantom.Asymmetric(l, 8, 1)
+	truth.SphericalMask(0.4 * float64(l))
+	ds := micrograph.Generate(truth, micrograph.GenParams{NumViews: 3, PixelA: 2.5, Seed: 21})
+	dft := fourier.NewVolumeDFTPadded(truth, 2)
+	cfg := DefaultConfig(l)
+	cfg.Schedule = DefaultSchedule()[:2]
+	r, err := NewRefiner(dft, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ds.Views {
+		pv, _ := r.PrepareView(v.Image, v.CTF)
+		res, err := r.GlobalSearch(pv, DefaultGlobalSearchConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := geom.AngularDistance(res.Orient, v.TrueOrient); d > 2 {
+			t.Errorf("view %d: ab-initio orientation off by %.2f°", i, d)
+		}
+	}
+}
+
+func TestGlobalSearchSymmetricUsesAsymUnit(t *testing.T) {
+	l := 32
+	truth := phantom.SindbisLike(l)
+	ds := micrograph.Generate(truth, micrograph.GenParams{NumViews: 2, PixelA: 2.5, Seed: 22})
+	dft := fourier.NewVolumeDFTPadded(truth, 2)
+	cfg := DefaultConfig(l)
+	cfg.Schedule = DefaultSchedule()[:2]
+	r, _ := NewRefiner(dft, cfg)
+	g := geom.Icosahedral()
+	gcfg := DefaultGlobalSearchConfig()
+	gcfg.Symmetry = g
+	for i, v := range ds.Views {
+		pv, _ := r.PrepareView(v.Image, v.CTF)
+		res, err := r.GlobalSearch(pv, gcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// For a symmetric particle the answer is correct if it lands
+		// on any symmetry mate of the truth.
+		best := 1e9
+		for _, mate := range g.Orbit(v.TrueOrient) {
+			if d := geom.AngularDistance(res.Orient, mate); d < best {
+				best = d
+			}
+		}
+		if best > 2 {
+			t.Errorf("view %d: symmetric ab-initio off by %.2f° from nearest mate", i, best)
+		}
+	}
+}
+
+func TestGlobalSearchDoesNotMutateView(t *testing.T) {
+	l := 24
+	truth := phantom.Asymmetric(l, 6, 1)
+	truth.SphericalMask(9)
+	ds := micrograph.Generate(truth, micrograph.GenParams{NumViews: 1, PixelA: 2.5, CenterJitter: 1, Seed: 23})
+	dft := fourier.NewVolumeDFTPadded(truth, 2)
+	cfg := DefaultConfig(l)
+	cfg.Schedule = DefaultSchedule()[:1]
+	r, _ := NewRefiner(dft, cfg)
+	pv, _ := r.PrepareView(ds.Views[0].Image, ds.Views[0].CTF)
+	before := append([]complex128(nil), pv.vd.vals...)
+	if _, err := r.GlobalSearch(pv, DefaultGlobalSearchConfig()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if pv.vd.vals[i] != before[i] {
+			t.Fatal("GlobalSearch mutated the caller's view")
+		}
+	}
+}
+
+func TestGlobalSearchValidation(t *testing.T) {
+	l := 16
+	truth := phantom.Asymmetric(l, 4, 1)
+	dft := fourier.NewVolumeDFT(truth)
+	r, _ := NewRefiner(dft, DefaultConfig(l))
+	ds := micrograph.Generate(truth, micrograph.GenParams{NumViews: 1, PixelA: 2, Seed: 24})
+	pv, _ := r.PrepareView(ds.Views[0].Image, ds.Views[0].CTF)
+	if _, err := r.GlobalSearch(pv, GlobalSearchConfig{StepDeg: 0, TopK: 1}); err == nil {
+		t.Fatal("StepDeg 0 accepted")
+	}
+	if _, err := r.GlobalSearch(pv, GlobalSearchConfig{StepDeg: 10, TopK: 0}); err == nil {
+		t.Fatal("TopK 0 accepted")
+	}
+}

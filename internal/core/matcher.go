@@ -1,0 +1,367 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/ctf"
+	"repro/internal/fourier"
+	"repro/internal/geom"
+	"repro/internal/volume"
+)
+
+// bandEntry is one Fourier coefficient position that participates in
+// the distance d(F, C): signed frequencies (h, k) with RMin ≤ r ≤ RMap,
+// plus its weight wt(j,k) and radius.
+type bandEntry struct {
+	h, k   int
+	weight float64
+	radius float64
+}
+
+// matcher owns the read-only state shared by all views: the volume
+// spectrum and the comparison band, sorted by increasing frequency
+// radius so coarse schedule levels can match on a low-frequency
+// prefix. It is safe for concurrent use.
+type matcher struct {
+	dft  *fourier.VolumeDFT
+	cfg  Config
+	l    int
+	band []bandEntry // sorted by radius ascending
+	// invL2 normalizes distances to the paper's 1/l² scale.
+	invL2 float64
+}
+
+func newMatcher(dft *fourier.VolumeDFT, cfg Config) *matcher {
+	l := dft.SrcL
+	m := &matcher{dft: dft, cfg: cfg, l: l, invL2: 1 / float64(l*l)}
+	rmax := math.Min(cfg.RMap, float64(l)/2)
+	ri := int(rmax)
+	for h := -ri; h <= ri; h++ {
+		for k := -ri; k <= ri; k++ {
+			r := math.Hypot(float64(h), float64(k))
+			if r > rmax || r < cfg.RMin {
+				continue
+			}
+			w := 1.0
+			if cfg.Weighting != nil {
+				w = cfg.Weighting(r)
+			}
+			if w <= 0 {
+				continue
+			}
+			m.band = append(m.band, bandEntry{h: h, k: k, weight: w, radius: r})
+		}
+	}
+	if cfg.SpectralWeight && dft.Data != nil {
+		power := radialPower(dft, rmax)
+		// Soft gate rather than raw power: shells carrying signal get
+		// weight ≈1, shells whose power has fallen below ~1% of the
+		// peak (noise-only territory on experimental data) roll off.
+		// Raw power would over-weight the lowest shells — which are
+		// nearly rotation-invariant — and flatten the search
+		// landscape.
+		const gate = 0.01
+		for i := range m.band {
+			shell := int(math.Round(m.band[i].radius))
+			if shell < len(power) {
+				m.band[i].weight *= power[shell] / (power[shell] + gate)
+			}
+		}
+	}
+	sort.SliceStable(m.band, func(a, b int) bool { return m.band[a].radius < m.band[b].radius })
+	return m
+}
+
+// radialPower tabulates the reference spectrum's mean power per
+// frequency shell (in image-frequency units), normalized to a maximum
+// of 1. Shells are sampled along the three lattice axes — adequate for
+// the radially smooth spectra of compact particles and much cheaper
+// than a full 3-D scan of a padded volume.
+func radialPower(dft *fourier.VolumeDFT, rmax float64) []float64 {
+	dirs := geom.SphereGrid(26)
+	n := int(rmax) + 1
+	power := make([]float64, n)
+	for shell := 0; shell < n; shell++ {
+		f := float64(shell)
+		for _, d := range dirs {
+			axis := d.ViewAxis()
+			v := dft.Sample(axis.Scale(f), fourier.Trilinear)
+			power[shell] += real(v)*real(v) + imag(v)*imag(v)
+		}
+		power[shell] /= float64(len(dirs))
+	}
+	max := 0.0
+	for _, p := range power {
+		if p > max {
+			max = p
+		}
+	}
+	if max > 0 {
+		for i := range power {
+			power[i] /= max
+		}
+	}
+	return power
+}
+
+// prefixLen returns how many leading band entries have radius ≤ rmax.
+func (m *matcher) prefixLen(rmax float64) int {
+	return sort.Search(len(m.band), func(i int) bool { return m.band[i].radius > rmax })
+}
+
+// viewData is the per-view matching state: the CTF-corrected transform
+// sampled at band positions, its band energy, and (optionally) a
+// matched-filter weight applied to reference cuts so that a
+// phase-flipped view is compared against an equally CTF-attenuated
+// reference.
+type viewData struct {
+	vals []complex128 // F at band entries (radius-ascending order)
+	refW []float64    // per-entry cut weights (nil = unweighted)
+	// prefixE[i] = Σ_{j<i} w_j·|F_j|², so the band energy of the
+	// first n entries is prefixE[n].
+	prefixE []float64
+}
+
+// prepareView extracts the band coefficients of a view transform.
+// The transform must be in the centred convention of fourier.ImageDFT.
+// refW, when non-nil, is the per-band-entry weight applied to every
+// cut during matching.
+func (m *matcher) prepareView(f *volume.CImage, refW []float64) *viewData {
+	vd := &viewData{vals: make([]complex128, len(m.band)), refW: refW}
+	for i, e := range m.band {
+		vd.vals[i] = f.Data[wrapIdx(e.h, m.l)*m.l+wrapIdx(e.k, m.l)]
+	}
+	vd.rebuildEnergy(m.band)
+	return vd
+}
+
+// rebuildEnergy recomputes the prefix-energy table after the values
+// change.
+func (vd *viewData) rebuildEnergy(band []bandEntry) {
+	if vd.prefixE == nil {
+		vd.prefixE = make([]float64, len(band)+1)
+	}
+	var acc float64
+	vd.prefixE[0] = 0
+	for i, e := range band {
+		v := vd.vals[i]
+		acc += e.weight * (real(v)*real(v) + imag(v)*imag(v))
+		vd.prefixE[i+1] = acc
+	}
+}
+
+// ctfCutWeights tabulates |CTF(s)| over the band for matched-filter
+// cut weighting.
+func (m *matcher) ctfCutWeights(p ctf.Params) []float64 {
+	out := make([]float64, len(m.band))
+	for i, e := range m.band {
+		s := p.FreqOfBin(e.h, e.k, m.l)
+		out[i] = math.Abs(p.Eval(s))
+	}
+	return out
+}
+
+func wrapIdx(f, l int) int {
+	f %= l
+	if f < 0 {
+		f += l
+	}
+	return f
+}
+
+// distance evaluates d(F, C_s) for the cut at orientation o without
+// materializing the cut: each band coefficient samples D̂ directly at
+// h·x̂' + k·ŷ'.
+//
+// With Config.NormalizeScale the cut is scaled by the least-squares
+// factor α* = ⟨F,C⟩/⟨C,C⟩ (clamped at zero) before the squared
+// difference, making the metric insensitive to intensity gain:
+// d = (E_F − ⟨F,C⟩²/E_C)/l². Without it, the paper's raw formula
+// d = Σ w·|F−C|² / l² is used.
+func (m *matcher) distance(vd *viewData, o geom.Euler, n int) float64 {
+	rot := o.Matrix()
+	xa, ya := rot.Col(0), rot.Col(1)
+	energy := vd.prefixE[n]
+	if m.cfg.NormalizeScale {
+		var ec, cross float64
+		for i, e := range m.band[:n] {
+			f3 := geom.Vec3{
+				X: xa.X*float64(e.h) + ya.X*float64(e.k),
+				Y: xa.Y*float64(e.h) + ya.Y*float64(e.k),
+				Z: xa.Z*float64(e.h) + ya.Z*float64(e.k),
+			}
+			c := m.dft.Sample(f3, m.cfg.Interp)
+			if vd.refW != nil {
+				c *= complex(vd.refW[i], 0)
+			}
+			fv := vd.vals[i]
+			ec += e.weight * (real(c)*real(c) + imag(c)*imag(c))
+			cross += e.weight * (real(fv)*real(c) + imag(fv)*imag(c))
+		}
+		if ec == 0 || cross <= 0 {
+			// A zero or anti-correlated cut cannot be scaled onto F;
+			// the best non-negative scale is 0 and d = E_F.
+			return energy * m.invL2
+		}
+		return (energy - cross*cross/ec) * m.invL2
+	}
+	var d float64
+	for i, e := range m.band[:n] {
+		f3 := geom.Vec3{
+			X: xa.X*float64(e.h) + ya.X*float64(e.k),
+			Y: xa.Y*float64(e.h) + ya.Y*float64(e.k),
+			Z: xa.Z*float64(e.h) + ya.Z*float64(e.k),
+		}
+		c := m.dft.Sample(f3, m.cfg.Interp)
+		if vd.refW != nil {
+			c *= complex(vd.refW[i], 0)
+		}
+		fv := vd.vals[i]
+		dr, di := real(fv)-real(c), imag(fv)-imag(c)
+		d += e.weight * (dr*dr + di*di)
+	}
+	return d * m.invL2
+}
+
+// cutValues materializes the cut C at orientation o over the band —
+// including any per-view reference weighting — for centre refinement
+// against a fixed best cut.
+func (m *matcher) cutValues(vd *viewData, o geom.Euler, n int) []complex128 {
+	rot := o.Matrix()
+	xa, ya := rot.Col(0), rot.Col(1)
+	out := make([]complex128, n)
+	for i, e := range m.band[:n] {
+		f3 := geom.Vec3{
+			X: xa.X*float64(e.h) + ya.X*float64(e.k),
+			Y: xa.Y*float64(e.h) + ya.Y*float64(e.k),
+			Z: xa.Z*float64(e.h) + ya.Z*float64(e.k),
+		}
+		c := m.dft.Sample(f3, m.cfg.Interp)
+		if vd.refW != nil {
+			c *= complex(vd.refW[i], 0)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// shiftedDistance evaluates the distance between the view shifted by
+// (dx, dy) pixels — applied as a phase ramp on the band coefficients —
+// and a fixed cut (step k's d(E_i, C_µ)).
+func (m *matcher) shiftedDistance(vd *viewData, cut []complex128, dx, dy float64) float64 {
+	twoPiOverL := 2 * math.Pi / float64(m.l)
+	n := len(cut)
+	energy := vd.prefixE[n]
+	if m.cfg.NormalizeScale {
+		var ec, cross float64
+		for i, e := range m.band[:n] {
+			angle := -twoPiOverL * (float64(e.h)*dx + float64(e.k)*dy)
+			s, cph := math.Sincos(angle)
+			fv := vd.vals[i]
+			fr := real(fv)*cph - imag(fv)*s
+			fi := real(fv)*s + imag(fv)*cph
+			c := cut[i]
+			ec += e.weight * (real(c)*real(c) + imag(c)*imag(c))
+			cross += e.weight * (fr*real(c) + fi*imag(c))
+		}
+		if ec == 0 || cross <= 0 {
+			return energy * m.invL2
+		}
+		return (energy - cross*cross/ec) * m.invL2
+	}
+	var d float64
+	for i, e := range m.band[:n] {
+		angle := -twoPiOverL * (float64(e.h)*dx + float64(e.k)*dy)
+		s, cph := math.Sincos(angle)
+		fv := vd.vals[i]
+		fr := real(fv)*cph - imag(fv)*s
+		fi := real(fv)*s + imag(fv)*cph
+		c := cut[i]
+		dr, di := fr-real(c), fi-imag(c)
+		d += e.weight * (dr*dr + di*di)
+	}
+	return d * m.invL2
+}
+
+// applyShift bakes a centre shift into the view's band coefficients
+// (step l: "correct E_q to account for the new center").
+func (m *matcher) applyShift(vd *viewData, dx, dy float64) {
+	twoPiOverL := 2 * math.Pi / float64(m.l)
+	for i, e := range m.band {
+		angle := -twoPiOverL * (float64(e.h)*dx + float64(e.k)*dy)
+		s, cph := math.Sincos(angle)
+		fv := vd.vals[i]
+		vd.vals[i] = complex(real(fv)*cph-imag(fv)*s, real(fv)*s+imag(fv)*cph)
+	}
+	vd.rebuildEnergy(m.band)
+}
+
+// BandSize returns the number of Fourier coefficients in the
+// comparison band (exposed for cost accounting and tests). Band
+// construction never touches spectrum data, so this works for
+// arbitrarily large l.
+func BandSize(l int, cfg Config) int {
+	dummy := &fourier.VolumeDFT{L: l, SrcL: l}
+	return len(newMatcher(dummy, cfg).band)
+}
+
+// EstimateMatchFlops models the floating-point work of one matching
+// operation (one cut construction + distance) over a band of the
+// given size — used by the cluster cost model and the paper-scale
+// timing extrapolations.
+func EstimateMatchFlops(bandSize int) float64 { return flopsPerMatch(bandSize) }
+
+// EstimateViewFFTFlops models step d (the 2-D DFT of one l×l view).
+func EstimateViewFFTFlops(l int) float64 { return viewFFTFlops(l) }
+
+// flopsPerMatch estimates the floating-point work of one matching
+// operation (one cut construction + distance) for cost modeling:
+// ~8 trilinear corner fetches with complex weighting plus the
+// distance accumulation, per band coefficient.
+func flopsPerMatch(bandSize int) float64 {
+	const perCoeff = 60.0
+	return perCoeff * float64(bandSize)
+}
+
+// viewFFTFlops models step d (2-D DFT of one view) for cost
+// accounting.
+func viewFFTFlops(l int) float64 {
+	if l < 2 {
+		return 0
+	}
+	return 2 * float64(l) * 5 * float64(l) * math.Log2(float64(l))
+}
+
+// magDistance is the translation-invariant variant of distance used by
+// the ab-initio coarse scan: it correlates coefficient magnitudes
+// |F| vs |C|, which are unaffected by centre error (a shift is a pure
+// phase ramp). Less discriminative than phase-aware matching, but a
+// mis-centred view cannot derail it; the subsequent refinement stage
+// recovers the centre and switches back to the full metric.
+func (m *matcher) magDistance(vd *viewData, o geom.Euler, n int) float64 {
+	rot := o.Matrix()
+	xa, ya := rot.Col(0), rot.Col(1)
+	var ec, cross, ef float64
+	for i, e := range m.band[:n] {
+		f3 := geom.Vec3{
+			X: xa.X*float64(e.h) + ya.X*float64(e.k),
+			Y: xa.Y*float64(e.h) + ya.Y*float64(e.k),
+			Z: xa.Z*float64(e.h) + ya.Z*float64(e.k),
+		}
+		c := m.dft.Sample(f3, m.cfg.Interp)
+		if vd.refW != nil {
+			c *= complex(vd.refW[i], 0)
+		}
+		cm := math.Hypot(real(c), imag(c))
+		fv := vd.vals[i]
+		fm := math.Hypot(real(fv), imag(fv))
+		ec += e.weight * cm * cm
+		ef += e.weight * fm * fm
+		cross += e.weight * fm * cm
+	}
+	if ec == 0 || cross <= 0 {
+		return ef * m.invL2
+	}
+	return (ef - cross*cross/ec) * m.invL2
+}

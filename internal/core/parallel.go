@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/ctf"
+	"repro/internal/geom"
+	"repro/internal/parfft"
+	"repro/internal/volume"
+)
+
+// StepTimes reports the simulated makespan of each phase of one
+// refinement pass — the rows of the paper's Tables 1 and 2.
+type StepTimes struct {
+	// DFT3D is step a: the parallel 3-D DFT of the density map.
+	DFT3D float64
+	// ReadImages is steps b–c: the master reading views and initial
+	// orientations and distributing them.
+	ReadImages float64
+	// FFTAnalysis is steps d–e: per-view 2-D DFT and CTF correction.
+	FFTAnalysis float64
+	// Refinement is steps f–l: the windowed matching and centre
+	// refinement.
+	Refinement float64
+	// Total is the end-to-end simulated makespan.
+	Total float64
+}
+
+// ParallelOptions configures a cluster refinement pass.
+type ParallelOptions struct {
+	// BytesPerPixel models view file storage (the paper uses 2).
+	BytesPerPixel int
+	// ReadBytesPerSec models the master's sequential file-read rate;
+	// ≤0 disables modeled I/O time.
+	ReadBytesPerSec float64
+	// DFT3DSecs carries the simulated cost of step a when the map
+	// transform was produced separately (e.g. by parfft.Transform3D);
+	// it is copied into StepTimes.DFT3D.
+	DFT3DSecs float64
+}
+
+// DefaultParallelOptions returns the paper's I/O assumptions: 2-byte
+// pixels read at a 1999-era sequential disk rate.
+func DefaultParallelOptions() ParallelOptions {
+	return ParallelOptions{BytesPerPixel: 2, ReadBytesPerSec: 20e6}
+}
+
+// RefineOnCluster executes one full refinement pass (steps b–o) on the
+// simulated cluster: the master distributes views and initial
+// orientations round-robin, every node transforms and refines its
+// share charging the cost model, nodes synchronize after every
+// schedule level (step m), and results are gathered on the master
+// (step o). It returns the per-view results in input order along with
+// the per-step simulated times.
+//
+// The refiner's schedule is used as-is; to time a single angular
+// resolution (one column of Tables 1–2) construct the Refiner with a
+// one-level schedule.
+func (r *Refiner) RefineOnCluster(
+	cl *cluster.Cluster,
+	views []*volume.Image,
+	ctfs []ctf.Params,
+	inits []geom.Euler,
+	opt ParallelOptions,
+) ([]Result, StepTimes, error) {
+	m := len(views)
+	if len(inits) != m {
+		return nil, StepTimes{}, fmt.Errorf("core: %d views but %d orientations", m, len(inits))
+	}
+	if len(ctfs) != 0 && len(ctfs) != m {
+		return nil, StepTimes{}, fmt.Errorf("core: %d views but %d CTF param sets", m, len(ctfs))
+	}
+	for i, v := range views {
+		if v.L != r.m.l {
+			return nil, StepTimes{}, fmt.Errorf("core: view %d size %d does not match map size %d", i, v.L, r.m.l)
+		}
+	}
+	p := cl.P
+	l := r.m.l
+	results := make([]Result, m)
+	var refineErr error
+
+	// Per-step makespans, collected via max-reduction inside the run.
+	type marks struct{ read, fft, refine float64 }
+	nodeMarks := make([]marks, p)
+
+	cl.Run(func(n *cluster.Node) {
+		rank := n.Rank
+		// Step b–c: master reads the image and orientation files and
+		// distributes view indices round-robin (view q goes to rank
+		// q mod P, keeping E_q and O_q^init together).
+		viewBytes := l * l * opt.BytesPerPixel
+		if rank == 0 && opt.ReadBytesPerSec > 0 {
+			n.Sleep(float64(m*viewBytes) / opt.ReadBytesPerSec)
+		}
+		var myIdx []int
+		for q := rank; q < m; q += p {
+			myIdx = append(myIdx, q)
+		}
+		// Model the scatter of everyone else's share from the master.
+		parts := make([]interface{}, p)
+		if rank == 0 {
+			for i := 0; i < p; i++ {
+				parts[i] = i // placeholder; real data is shared read-only
+			}
+		}
+		n.Scatter("views", 0, parts, len(myIdx)*viewBytes)
+		nodeMarks[rank].read = n.Clock()
+
+		// Steps d–e: 2-D DFT + CTF correction of owned views.
+		myViews := make([]*View, len(myIdx))
+		for i, q := range myIdx {
+			params := ctf.Params{}
+			if len(ctfs) > 0 {
+				params = ctfs[q]
+			}
+			v, err := r.PrepareView(views[q], params)
+			if err != nil {
+				refineErr = err
+				return
+			}
+			myViews[i] = v
+			n.Compute(viewFFTFlops(l))
+			if r.cfg.CorrectCTF {
+				n.Compute(20 * float64(l*l))
+			}
+		}
+		n.Barrier("post-fft")
+		nodeMarks[rank].fft = n.Clock()
+
+		// Steps f–n: refine each view through every level, with a
+		// barrier per level (step m).
+		states := make([]Result, len(myIdx))
+		for i, q := range myIdx {
+			states[i] = Result{Orient: inits[q]}
+		}
+		band := len(r.m.band)
+		for _, lv := range r.cfg.Schedule {
+			for i := range myIdx {
+				st := r.refineLevel(myViews[i].vd, &states[i], lv)
+				states[i].PerLevel = append(states[i].PerLevel, st)
+				n.Compute(float64(st.Matchings) * flopsPerMatch(band))
+				n.Compute(float64(st.CenterEvals) * 15 * float64(band))
+			}
+			n.Barrier("level")
+		}
+		nodeMarks[rank].refine = n.Clock()
+
+		// Step o: gather refined orientations on the master.
+		n.Gather("results", 0, states, len(myIdx)*64)
+		for i, q := range myIdx {
+			results[q] = states[i]
+		}
+	})
+	if refineErr != nil {
+		return nil, StepTimes{}, refineErr
+	}
+
+	var times StepTimes
+	times.DFT3D = opt.DFT3DSecs
+	for _, mk := range nodeMarks {
+		if mk.read > times.ReadImages {
+			times.ReadImages = mk.read
+		}
+	}
+	for _, mk := range nodeMarks {
+		if d := mk.fft - times.ReadImages; d > times.FFTAnalysis {
+			times.FFTAnalysis = d
+		}
+	}
+	maxFFT := times.ReadImages + times.FFTAnalysis
+	for _, mk := range nodeMarks {
+		if d := mk.refine - maxFFT; d > times.Refinement {
+			times.Refinement = d
+		}
+	}
+	times.Total = times.DFT3D + times.ReadImages + times.FFTAnalysis + times.Refinement
+	return results, times, nil
+}
+
+// Transform3DOnCluster is a convenience wrapper that runs the parallel
+// 3-D DFT of the map (step a) on the cluster and returns both the
+// spectrum and its simulated cost, ready to feed NewRefiner and
+// ParallelOptions.DFT3DSecs.
+func Transform3DOnCluster(cl *cluster.Cluster, g *volume.Grid, readSecs float64) (res parfft.Result) {
+	return parfft.Transform3D(cl, g, readSecs)
+}

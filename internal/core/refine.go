@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/ctf"
+	"repro/internal/fourier"
+	"repro/internal/geom"
+	"repro/internal/volume"
+)
+
+// Refiner refines view orientations against one reference map
+// spectrum. It is safe for concurrent use by multiple goroutines: all
+// shared state is read-only after construction.
+type Refiner struct {
+	m   *matcher
+	cfg Config
+}
+
+// NewRefiner builds a refiner for the centred map spectrum dft.
+// Oversampled spectra (fourier.NewVolumeDFTPadded) give markedly more
+// accurate matching and are recommended.
+func NewRefiner(dft *fourier.VolumeDFT, cfg Config) (*Refiner, error) {
+	if cfg.Schedule == nil {
+		cfg.Schedule = DefaultSchedule()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RMap > float64(dft.SrcL)/2 {
+		cfg.RMap = float64(dft.SrcL) / 2
+	}
+	return &Refiner{m: newMatcher(dft, cfg), cfg: cfg}, nil
+}
+
+// BandSize returns the number of Fourier coefficients per matching.
+func (r *Refiner) BandSize() int { return len(r.m.band) }
+
+// View is a prepared experimental view: transformed, CTF-corrected and
+// reduced to the matcher's comparison band. Views are mutated by
+// refinement (centre shifts are baked in), so refine each view once.
+type View struct {
+	vd *viewData
+}
+
+// PrepareView transforms an experimental image into matching state:
+// centred 2-D DFT (step d), optional CTF correction (step e), band
+// extraction. The CTF parameters are only consulted when
+// Config.CorrectCTF or Config.CTFWeightCuts is set.
+func (r *Refiner) PrepareView(im *volume.Image, p ctf.Params) (*View, error) {
+	if im.L != r.m.l {
+		return nil, fmt.Errorf("core: view size %d does not match map size %d", im.L, r.m.l)
+	}
+	f := fourier.ImageDFT(im)
+	if r.cfg.CorrectCTF {
+		if err := ctf.Correct(f, p, r.cfg.CTFMode); err != nil {
+			return nil, err
+		}
+	}
+	var refW []float64
+	if r.cfg.CTFWeightCuts {
+		refW = r.m.ctfCutWeights(p)
+	}
+	return &View{vd: r.m.prepareView(f, refW)}, nil
+}
+
+// orientKey quantizes an orientation to the level grid for caching
+// distance evaluations across window slides.
+type orientKey [3]int64
+
+func keyOf(o geom.Euler, step float64) orientKey {
+	return orientKey{
+		int64(math.Round(o.Theta / step)),
+		int64(math.Round(o.Phi / step)),
+		int64(math.Round(o.Omega / step)),
+	}
+}
+
+// RefineView runs the full multi-resolution refinement (steps f–n) for
+// one prepared view starting from the initial orientation. It returns
+// the refined orientation, centre offset and per-level statistics.
+func (r *Refiner) RefineView(v *View, init geom.Euler) Result {
+	res := Result{Orient: init}
+	for _, lv := range r.cfg.Schedule {
+		st := r.refineLevel(v.vd, &res, lv)
+		res.PerLevel = append(res.PerLevel, st)
+	}
+	return res
+}
+
+// refineLevel performs one schedule level, updating res in place.
+// Orientation search (steps f–j) and centre refinement (steps k–l)
+// are coupled — a mis-centred view biases the orientation search and
+// vice versa — so the level alternates the two until neither moves
+// (at most maxLevelIters rounds).
+func (r *Refiner) refineLevel(vd *viewData, res *Result, lv Level) LevelStats {
+	const maxLevelIters = 4
+	var st LevelStats
+	n := r.m.prefixLen(lv.effRMapFrac() * r.cfg.RMap)
+	if n == 0 {
+		n = len(r.m.band)
+	}
+	st.BandUsed = n
+	cache := make(map[orientKey]float64)
+
+	eval := func(o geom.Euler) float64 {
+		k := keyOf(o, lv.RAngular)
+		if d, ok := cache[k]; ok {
+			return d
+		}
+		d := r.m.distance(vd, o, n)
+		cache[k] = d
+		st.Matchings++
+		return d
+	}
+
+	for iter := 0; iter < maxLevelIters; iter++ {
+		// Steps k–l first within each round: a mis-centred view
+		// decorrelates every cut and derails the orientation search,
+		// while the centre landscape stays well-formed even a few
+		// degrees off — so fix the centre against the current best
+		// orientation before searching orientations.
+		shifted := false
+		if lv.CenterDelta > 0 && lv.CenterHalf > 0 {
+			dx, dy, d := r.refineCenter(vd, res.Orient, lv, n, &st)
+			if dx != 0 || dy != 0 {
+				r.m.applyShift(vd, dx, dy)
+				res.Center[0] += dx
+				res.Center[1] += dy
+				res.Distance = d
+				// Only a shift big enough to matter at this level
+				// justifies re-searching orientations; sub-quarter-step
+				// parabolic adjustments barely perturb the distances
+				// and would otherwise cause endless alternation.
+				if math.Hypot(dx, dy) >= 0.25*lv.CenterDelta {
+					shifted = true
+					cache = make(map[orientKey]float64)
+				}
+			}
+		}
+
+		// Steps f–i: sliding-window orientation search.
+		w := geom.CenteredWindow(res.Orient, lv.WindowHalf, lv.RAngular)
+		best, bestD := res.Orient, math.Inf(1)
+		for {
+			for _, o := range w.Orientations() {
+				if d := eval(o); d < bestD {
+					bestD = d
+					best = o
+				}
+			}
+			if !w.OnEdge(best) || st.Slides >= r.cfg.MaxSlides {
+				break
+			}
+			w = w.Recenter(best)
+			st.Slides++
+		}
+		moved := geom.AngularDistance(best, res.Orient) > lv.RAngular/2
+		res.Orient = best
+		res.Distance = bestD
+
+		// Without centre refinement the view never changes, so one
+		// pass of the (sliding) window search is complete; with it,
+		// alternate until neither the centre nor the orientation
+		// moves.
+		if lv.CenterDelta <= 0 || lv.CenterHalf <= 0 || (!shifted && !moved) {
+			break
+		}
+	}
+	return st
+}
+
+// refineCenter performs the sliding-box centre search (step k) against
+// the cut at orientation o, returning the best shift and its distance.
+func (r *Refiner) refineCenter(vd *viewData, o geom.Euler, lv Level, n int, st *LevelStats) (float64, float64, float64) {
+	cut := r.m.cutValues(vd, o, n)
+	bestDx, bestDy := 0.0, 0.0
+	bestD := r.m.shiftedDistance(vd, cut, 0, 0)
+	st.CenterEvals++
+	for {
+		cx, cy := bestDx, bestDy
+		improved := false
+		for i := -lv.CenterHalf; i <= lv.CenterHalf; i++ {
+			for j := -lv.CenterHalf; j <= lv.CenterHalf; j++ {
+				if i == 0 && j == 0 {
+					continue
+				}
+				dx := cx + float64(i)*lv.CenterDelta
+				dy := cy + float64(j)*lv.CenterDelta
+				d := r.m.shiftedDistance(vd, cut, dx, dy)
+				st.CenterEvals++
+				if d < bestD {
+					bestD, bestDx, bestDy = d, dx, dy
+					improved = true
+				}
+			}
+		}
+		onEdge := math.Abs(bestDx-cx) >= float64(lv.CenterHalf)*lv.CenterDelta-1e-12 ||
+			math.Abs(bestDy-cy) >= float64(lv.CenterHalf)*lv.CenterDelta-1e-12
+		if !improved || !onEdge || st.CenterSlides >= r.cfg.MaxSlides {
+			break
+		}
+		st.CenterSlides++
+	}
+	// Sub-grid parabolic interpolation of the minimum: the distance is
+	// locally quadratic in the shift, so a three-point vertex fit per
+	// axis removes the ±δ/2 quantization residue that would otherwise
+	// bias the next orientation search.
+	if r.cfg.ParabolicCenter && bestD < math.Inf(1) {
+		delta := lv.CenterDelta
+		refineAxis := func(dxOff, dyOff float64) float64 {
+			dm := r.m.shiftedDistance(vd, cut, bestDx-dxOff*delta, bestDy-dyOff*delta)
+			dp := r.m.shiftedDistance(vd, cut, bestDx+dxOff*delta, bestDy+dyOff*delta)
+			st.CenterEvals += 2
+			den := dm - 2*bestD + dp
+			if den <= 0 {
+				return 0
+			}
+			off := 0.5 * (dm - dp) / den * delta
+			return math.Max(-delta/2, math.Min(delta/2, off))
+		}
+		ox := refineAxis(1, 0)
+		oy := refineAxis(0, 1)
+		if ox != 0 || oy != 0 {
+			if d := r.m.shiftedDistance(vd, cut, bestDx+ox, bestDy+oy); d < bestD {
+				bestDx += ox
+				bestDy += oy
+				bestD = d
+			}
+			st.CenterEvals++
+		}
+	}
+	return bestDx, bestDy, bestD
+}
+
+// RefineAll refines many views concurrently with a worker pool (the
+// shared-memory analogue of the paper's view partitioning). inits must
+// parallel views. workers ≤ 0 selects GOMAXPROCS.
+func (r *Refiner) RefineAll(views []*View, inits []geom.Euler, workers int) ([]Result, error) {
+	if len(views) != len(inits) {
+		return nil, fmt.Errorf("core: %d views but %d initial orientations", len(views), len(inits))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]Result, len(views))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = r.RefineView(views[i], inits[i])
+			}
+		}()
+	}
+	for i := range views {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results, nil
+}

@@ -1,0 +1,184 @@
+// Package fft implements the discrete Fourier transforms used by the
+// orientation-refinement pipeline: 1-D complex FFTs of any length
+// (iterative radix-2 Cooley–Tukey for powers of two, Bluestein's
+// chirp-z algorithm otherwise), and separable 2-D and 3-D transforms
+// built on them. Everything is written against the standard library
+// only.
+//
+// Conventions. Forward transforms are unnormalized,
+//
+//	X[k] = Σ_n x[n]·exp(−2πi·kn/N),
+//
+// and Inverse applies the conjugate kernel scaled by 1/N, so
+// Inverse(Forward(x)) == x. Frequencies are stored in the usual DFT
+// layout: index k holds frequency k for k ≤ N/2 and k−N above.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Plan caches twiddle factors and scratch space for transforms of a
+// fixed length. A Plan is cheap to reuse and amortizes all setup; it
+// is not safe for concurrent use (each goroutine should own one).
+type Plan struct {
+	n       int
+	pow2    bool
+	twiddle []complex128 // radix-2 twiddles for size n (or the inner pow-2 size)
+	rev     []int        // bit-reversal permutation
+
+	// Bluestein state (nil when n is a power of two).
+	bn     int          // convolution length, power of two ≥ 2n−1
+	chirp  []complex128 // exp(−iπ k²/n)
+	bfft   []complex128 // FFT of the chirp filter, precomputed
+	ascr   []complex128 // scratch
+	inner  *Plan        // pow-2 plan of size bn
+	invTmp []complex128 // scratch for inverse via conjugation
+}
+
+// NewPlan creates a transform plan for length n ≥ 1.
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic(fmt.Sprintf("fft: invalid length %d", n))
+	}
+	p := &Plan{n: n, pow2: n&(n-1) == 0}
+	if p.pow2 {
+		p.initPow2(n)
+		return p
+	}
+	// Bluestein: x̂ = chirp ⊛ (x·chirp) scaled by conj chirp.
+	p.bn = 1
+	for p.bn < 2*n-1 {
+		p.bn <<= 1
+	}
+	p.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Use k² mod 2n to avoid precision loss for large k.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		angle := -math.Pi * float64(kk) / float64(n)
+		p.chirp[k] = cmplx.Exp(complex(0, angle))
+	}
+	p.inner = NewPlan(p.bn)
+	b := make([]complex128, p.bn)
+	b[0] = cmplx.Conj(p.chirp[0])
+	for k := 1; k < n; k++ {
+		c := cmplx.Conj(p.chirp[k])
+		b[k] = c
+		b[p.bn-k] = c
+	}
+	p.inner.forwardPow2(b)
+	p.bfft = b
+	p.ascr = make([]complex128, p.bn)
+	p.invTmp = make([]complex128, n)
+	return p
+}
+
+func (p *Plan) initPow2(n int) {
+	p.twiddle = make([]complex128, n/2)
+	for k := range p.twiddle {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = cmplx.Exp(complex(0, angle))
+	}
+	p.rev = make([]int, n)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	if n == 1 {
+		shift = 64
+	}
+	for i := range p.rev {
+		p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+}
+
+// Len returns the transform length of the plan.
+func (p *Plan) Len() int { return p.n }
+
+// Forward computes the in-place forward DFT of x, which must have
+// length Plan.Len.
+func (p *Plan) Forward(x []complex128) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: Forward length %d, plan length %d", len(x), p.n))
+	}
+	if p.pow2 {
+		p.forwardPow2(x)
+		return
+	}
+	p.bluestein(x)
+}
+
+// Inverse computes the in-place inverse DFT of x (conjugate kernel,
+// scaled by 1/N).
+func (p *Plan) Inverse(x []complex128) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: Inverse length %d, plan length %d", len(x), p.n))
+	}
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	p.Forward(x)
+	scale := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * scale
+	}
+}
+
+// forwardPow2 is the iterative radix-2 Cooley–Tukey kernel.
+func (p *Plan) forwardPow2(x []complex128) {
+	n := len(x)
+	if n == 1 {
+		return
+	}
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stride := n / size
+		for start := 0; start < n; start += size {
+			tw := 0
+			for k := start; k < start+half; k++ {
+				w := p.twiddle[tw]
+				a, b := x[k], x[k+half]*w
+				x[k], x[k+half] = a+b, a-b
+				tw += stride
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via chirp-z convolution.
+func (p *Plan) bluestein(x []complex128) {
+	n, bn := p.n, p.bn
+	a := p.ascr
+	for i := range a {
+		a[i] = 0
+	}
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * p.chirp[k]
+	}
+	p.inner.forwardPow2(a)
+	for i := 0; i < bn; i++ {
+		a[i] *= p.bfft[i]
+	}
+	// Inverse pow-2 transform of a.
+	for i := range a {
+		a[i] = cmplx.Conj(a[i])
+	}
+	p.inner.forwardPow2(a)
+	scale := complex(1/float64(bn), 0)
+	for k := 0; k < n; k++ {
+		x[k] = cmplx.Conj(a[k]*scale) * p.chirp[k]
+	}
+}
+
+// Forward computes the forward DFT of x in place using a throwaway
+// plan. Prefer a Plan for repeated transforms.
+func Forward(x []complex128) { NewPlan(len(x)).Forward(x) }
+
+// Inverse computes the inverse DFT of x in place using a throwaway
+// plan.
+func Inverse(x []complex128) { NewPlan(len(x)).Inverse(x) }

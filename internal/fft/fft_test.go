@@ -1,0 +1,420 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n²) reference transform.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func randomSignal(r *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return x
+}
+
+func maxDiff(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	// Powers of two, primes, composites — including the paper's view
+	// sizes 221 = 13·17 and 511 = 7·73.
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 45, 64, 100, 221, 511} {
+		x := randomSignal(r, n)
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		NewPlan(n).Forward(got)
+		if d := maxDiff(got, want); d > 1e-8*float64(n) {
+			t.Errorf("n=%d: max deviation from naive DFT %g", n, d)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 8, 13, 48, 64, 221, 255, 256} {
+		p := NewPlan(n)
+		x := randomSignal(r, n)
+		orig := append([]complex128(nil), x...)
+		p.Forward(x)
+		p.Inverse(x)
+		if d := maxDiff(x, orig); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: round-trip error %g", n, d)
+		}
+	}
+}
+
+func TestPlanReuse(t *testing.T) {
+	// The same plan must give identical results across calls.
+	r := rand.New(rand.NewSource(3))
+	p := NewPlan(221)
+	x := randomSignal(r, 221)
+	a := append([]complex128(nil), x...)
+	b := append([]complex128(nil), x...)
+	p.Forward(a)
+	p.Forward(b)
+	if maxDiff(a, b) != 0 {
+		t.Fatal("plan reuse is not deterministic")
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 24
+		p := NewPlan(n)
+		x, y := randomSignal(r, n), randomSignal(r, n)
+		alpha := complex(r.NormFloat64(), r.NormFloat64())
+		lhs := make([]complex128, n)
+		for i := range lhs {
+			lhs[i] = x[i] + alpha*y[i]
+		}
+		p.Forward(lhs)
+		fx := append([]complex128(nil), x...)
+		fy := append([]complex128(nil), y...)
+		p.Forward(fx)
+		p.Forward(fy)
+		for i := range lhs {
+			if cmplx.Abs(lhs[i]-(fx[i]+alpha*fy[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for _, n := range []int{16, 21} {
+			x := randomSignal(r, n)
+			var timeE float64
+			for _, v := range x {
+				timeE += real(v)*real(v) + imag(v)*imag(v)
+			}
+			NewPlan(n).Forward(x)
+			var freqE float64
+			for _, v := range x {
+				freqE += real(v)*real(v) + imag(v)*imag(v)
+			}
+			if math.Abs(freqE/float64(n)-timeE) > 1e-8*timeE {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImpulseAndDC(t *testing.T) {
+	n := 32
+	p := NewPlan(n)
+	// DC signal -> impulse at k=0 of height n.
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 1
+	}
+	p.Forward(x)
+	if cmplx.Abs(x[0]-complex(float64(n), 0)) > 1e-9 {
+		t.Errorf("DC bin = %v, want %d", x[0], n)
+	}
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(x[k]) > 1e-9 {
+			t.Errorf("bin %d = %v, want 0", k, x[k])
+		}
+	}
+	// Impulse -> flat spectrum.
+	y := make([]complex128, n)
+	y[0] = 1
+	p.Forward(y)
+	for k := 0; k < n; k++ {
+		if cmplx.Abs(y[k]-1) > 1e-9 {
+			t.Errorf("impulse spectrum bin %d = %v, want 1", k, y[k])
+		}
+	}
+}
+
+func TestShiftTheorem(t *testing.T) {
+	// x[n-s] has DFT X[k]·exp(-2πi ks/N).
+	r := rand.New(rand.NewSource(4))
+	n, s := 40, 7
+	x := randomSignal(r, n)
+	shifted := make([]complex128, n)
+	for i := range shifted {
+		shifted[i] = x[((i-s)%n+n)%n]
+	}
+	p := NewPlan(n)
+	fx := append([]complex128(nil), x...)
+	p.Forward(fx)
+	p.Forward(shifted)
+	for k := 0; k < n; k++ {
+		phase := cmplx.Exp(complex(0, -2*math.Pi*float64(k)*float64(s)/float64(n)))
+		if cmplx.Abs(shifted[k]-fx[k]*phase) > 1e-8 {
+			t.Fatalf("shift theorem violated at bin %d", k)
+		}
+	}
+}
+
+func TestRealSignalHermitian(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n := 33
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), 0)
+	}
+	NewPlan(n).Forward(x)
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(x[k]-cmplx.Conj(x[n-k])) > 1e-8 {
+			t.Fatalf("Hermitian symmetry violated at bin %d", k)
+		}
+	}
+}
+
+func TestPlan2DMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	nx, ny := 6, 9
+	x := randomSignal(r, nx*ny)
+	want := make([]complex128, nx*ny)
+	for kx := 0; kx < nx; kx++ {
+		for ky := 0; ky < ny; ky++ {
+			var s complex128
+			for jx := 0; jx < nx; jx++ {
+				for jy := 0; jy < ny; jy++ {
+					angle := -2 * math.Pi * (float64(kx*jx)/float64(nx) + float64(ky*jy)/float64(ny))
+					s += x[jx*ny+jy] * cmplx.Exp(complex(0, angle))
+				}
+			}
+			want[kx*ny+ky] = s
+		}
+	}
+	NewPlan2D(nx, ny).Forward(x)
+	if d := maxDiff(x, want); d > 1e-8 {
+		t.Fatalf("2-D FFT deviates from naive DFT by %g", d)
+	}
+}
+
+func TestPlan2DRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p := NewPlan2D(17, 12)
+	x := randomSignal(r, 17*12)
+	orig := append([]complex128(nil), x...)
+	p.Forward(x)
+	p.Inverse(x)
+	if d := maxDiff(x, orig); d > 1e-9 {
+		t.Fatalf("2-D round-trip error %g", d)
+	}
+}
+
+func TestPlan3DRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	p := NewPlan3D(8, 6, 10)
+	x := randomSignal(r, 8*6*10)
+	orig := append([]complex128(nil), x...)
+	p.Forward(x)
+	p.Inverse(x)
+	if d := maxDiff(x, orig); d > 1e-9 {
+		t.Fatalf("3-D round-trip error %g", d)
+	}
+}
+
+func TestPlan3DSeparability(t *testing.T) {
+	// A separable product signal has a separable product transform.
+	nx, ny, nz := 8, 8, 8
+	r := rand.New(rand.NewSource(9))
+	ax, ay, az := randomSignal(r, nx), randomSignal(r, ny), randomSignal(r, nz)
+	x := make([]complex128, nx*ny*nz)
+	for ix := 0; ix < nx; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			for iz := 0; iz < nz; iz++ {
+				x[(ix*ny+iy)*nz+iz] = ax[ix] * ay[iy] * az[iz]
+			}
+		}
+	}
+	NewPlan3D(nx, ny, nz).Forward(x)
+	fx := append([]complex128(nil), ax...)
+	fy := append([]complex128(nil), ay...)
+	fz := append([]complex128(nil), az...)
+	Forward(fx)
+	Forward(fy)
+	Forward(fz)
+	for ix := 0; ix < nx; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			for iz := 0; iz < nz; iz++ {
+				want := fx[ix] * fy[iy] * fz[iz]
+				got := x[(ix*ny+iy)*nz+iz]
+				if cmplx.Abs(got-want) > 1e-6 {
+					t.Fatalf("separability violated at (%d,%d,%d)", ix, iy, iz)
+				}
+			}
+		}
+	}
+}
+
+func TestFreqIndexRoundTrip(t *testing.T) {
+	for _, n := range []int{4, 5, 8, 9} {
+		for k := 0; k < n; k++ {
+			f := FreqIndex(k, n)
+			if f < -n/2 || f > n/2 {
+				t.Errorf("FreqIndex(%d,%d) = %d out of range", k, n, f)
+			}
+			if ArrayIndex(f, n) != k {
+				t.Errorf("ArrayIndex(FreqIndex(%d,%d)) = %d", k, n, ArrayIndex(f, n))
+			}
+		}
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Forward with wrong length did not panic")
+		}
+	}()
+	NewPlan(8).Forward(make([]complex128, 7))
+}
+
+func BenchmarkFFTPow2_256(b *testing.B) {
+	p := NewPlan(256)
+	x := randomSignal(rand.New(rand.NewSource(1)), 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkFFTBluestein_221(b *testing.B) {
+	p := NewPlan(221)
+	x := randomSignal(rand.New(rand.NewSource(1)), 221)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkFFT2D_64(b *testing.B) {
+	p := NewPlan2D(64, 64)
+	x := randomSignal(rand.New(rand.NewSource(1)), 64*64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkFFT3D_32(b *testing.B) {
+	p := NewPlan3D(32, 32, 32)
+	x := randomSignal(rand.New(rand.NewSource(1)), 32*32*32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func TestRealForwardMatchesComplex(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for _, n := range []int{2, 4, 8, 10, 16, 22, 64, 222} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		want := make([]complex128, n)
+		for i, v := range x {
+			want[i] = complex(v, 0)
+		}
+		Forward(want)
+		got, err := RealForward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: real FFT deviates from complex by %g", n, d)
+		}
+	}
+}
+
+func TestRealPlanReuse(t *testing.T) {
+	p, err := NewRealPlan(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		x := make([]float64, 16)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		want := make([]complex128, 16)
+		for i, v := range x {
+			want[i] = complex(v, 0)
+		}
+		Forward(want)
+		got, err := p.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxDiff(got, want); d > 1e-9 {
+			t.Fatalf("trial %d: plan reuse broke (err %g)", trial, d)
+		}
+	}
+}
+
+func TestRealPlanValidation(t *testing.T) {
+	if _, err := NewRealPlan(7); err == nil {
+		t.Fatal("odd length accepted")
+	}
+	if _, err := NewRealPlan(0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	p, _ := NewRealPlan(8)
+	if _, err := p.Forward(make([]float64, 6)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if p.Len() != 8 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func BenchmarkRealFFT_256(b *testing.B) {
+	p, _ := NewRealPlan(256)
+	r := rand.New(rand.NewSource(1))
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

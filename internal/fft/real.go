@@ -1,0 +1,91 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// RealPlan computes DFTs of real-valued signals of even length n using
+// the classical packing trick: the n real samples are treated as n/2
+// complex samples, transformed with a half-size complex FFT, and
+// unpacked — roughly halving the work relative to a complex transform
+// of the same length.
+type RealPlan struct {
+	n     int
+	half  *Plan
+	buf   []complex128
+	twid  []complex128 // exp(−2πi·k/n) for the unpacking butterflies
+	spect []complex128
+}
+
+// NewRealPlan creates a real-input transform plan for even length n.
+func NewRealPlan(n int) (*RealPlan, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("fft: real plan length must be even and ≥ 2, got %d", n)
+	}
+	p := &RealPlan{
+		n:     n,
+		half:  NewPlan(n / 2),
+		buf:   make([]complex128, n/2),
+		twid:  make([]complex128, n/2),
+		spect: make([]complex128, n),
+	}
+	for k := range p.twid {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		p.twid[k] = cmplx.Exp(complex(0, angle))
+	}
+	return p, nil
+}
+
+// Len returns the transform length.
+func (p *RealPlan) Len() int { return p.n }
+
+// Forward computes the full n-point DFT of the real signal x,
+// returning all n complex coefficients (the upper half is the
+// conjugate mirror of the lower half, as for any real signal). The
+// returned slice is reused across calls; copy it if you need to keep
+// it.
+func (p *RealPlan) Forward(x []float64) ([]complex128, error) {
+	if len(x) != p.n {
+		return nil, fmt.Errorf("fft: real forward length %d, plan length %d", len(x), p.n)
+	}
+	h := p.n / 2
+	for i := 0; i < h; i++ {
+		p.buf[i] = complex(x[2*i], x[2*i+1])
+	}
+	p.half.Forward(p.buf)
+	// Unpack: with Z = FFT(even + i·odd),
+	//   E[k] = (Z[k] + conj(Z[(h−k) mod h]))/2
+	//   O[k] = (Z[k] − conj(Z[(h−k) mod h]))/(2i)
+	//   X[k] = E[k] + exp(−2πik/n)·O[k]        for k < h
+	//   X[h] = E[0] − O[0]
+	for k := 0; k < h; k++ {
+		km := (h - k) % h
+		zk, zkm := p.buf[k], cmplx.Conj(p.buf[km])
+		e := (zk + zkm) / 2
+		o := (zk - zkm) / complex(0, 2)
+		p.spect[k] = e + p.twid[k]*o
+	}
+	e0 := (p.buf[0] + cmplx.Conj(p.buf[0])) / 2
+	o0 := (p.buf[0] - cmplx.Conj(p.buf[0])) / complex(0, 2)
+	p.spect[h] = e0 - o0
+	// Upper half by Hermitian symmetry of a real signal's DFT.
+	for k := h + 1; k < p.n; k++ {
+		p.spect[k] = cmplx.Conj(p.spect[p.n-k])
+	}
+	return p.spect, nil
+}
+
+// RealForward is a convenience wrapper that allocates a fresh result.
+func RealForward(x []float64) ([]complex128, error) {
+	p, err := NewRealPlan(len(x))
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	return append([]complex128(nil), out...), nil
+}

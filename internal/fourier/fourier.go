@@ -1,0 +1,310 @@
+// Package fourier implements the Fourier-domain geometry of the
+// orientation-refinement algorithm: centred 2-D/3-D DFTs of images and
+// density maps, extraction of central-section cuts of the 3-D DFT at
+// arbitrary orientations (the projection-slice theorem), phase-ramp
+// image shifts for centre refinement, and the adjoint insertion
+// operation used by the Fourier-inversion reconstruction.
+//
+// Centred transforms. The lab convention places the particle origin at
+// voxel/pixel l/2. Package fft computes DFTs relative to index 0, so
+// every transform here is "centred" by multiplying coefficient f by
+// exp(+2πi·(Σf)·(l/2)/l), which removes the rapid phase ramp caused by
+// the origin offset. Centred spectra are smooth for compact particles,
+// which is what makes trilinear interpolation between lattice points
+// accurate — the paper's "interpolation in the 3-D Fourier domain"
+// (step f) depends on exactly this.
+package fourier
+
+import (
+	"math"
+	"math/cmplx"
+
+	"repro/internal/fft"
+	"repro/internal/geom"
+	"repro/internal/volume"
+)
+
+// Interpolation selects how central sections sample the 3-D DFT
+// lattice.
+type Interpolation int
+
+const (
+	// Trilinear is 8-point linear interpolation, the production
+	// choice.
+	Trilinear Interpolation = iota
+	// Nearest is nearest-neighbour sampling, kept as an ablation
+	// baseline: cheaper but much less accurate.
+	Nearest
+)
+
+// VolumeDFT is the centred 3-D DFT D̂ of an electron-density map, in
+// standard DFT index layout. It is immutable once built and safe for
+// concurrent reads, which is how the refinement distributes one
+// replicated copy to every node.
+//
+// The spectrum may be oversampled: NewVolumeDFTPadded embeds the map
+// in a larger box before transforming, which samples the same
+// continuous spectrum on a Pad-times finer lattice and sharply reduces
+// the interpolation error of central-section extraction. SrcL is
+// always the original map (and view) size; L = Pad·SrcL is the lattice
+// edge of Data.
+type VolumeDFT struct {
+	L    int
+	SrcL int
+	Data []complex128
+}
+
+// NewVolumeDFT computes the centred 3-D DFT of g with no oversampling.
+func NewVolumeDFT(g *volume.Grid) *VolumeDFT {
+	return NewVolumeDFTPadded(g, 1)
+}
+
+// NewVolumeDFTPadded embeds g centrally in a box pad times larger,
+// then computes the centred 3-D DFT. pad = 2 is the usual production
+// choice for accurate trilinear slice extraction.
+func NewVolumeDFTPadded(g *volume.Grid, pad int) *VolumeDFT {
+	if pad < 1 {
+		panic("fourier: pad must be ≥ 1")
+	}
+	l := g.L
+	bl := pad * l
+	data := make([]complex128, bl*bl*bl)
+	off := bl/2 - l/2 // maps voxel l/2 (particle origin) onto bl/2
+	for x := 0; x < l; x++ {
+		for y := 0; y < l; y++ {
+			base := ((x+off)*bl + y + off) * bl
+			srcBase := (x*l + y) * l
+			for z := 0; z < l; z++ {
+				data[base+z+off] = complex(g.Data[srcBase+z], 0)
+			}
+		}
+	}
+	fft.NewPlan3D(bl, bl, bl).Forward(data)
+	applyCenterRamp3D(data, bl, +1)
+	return &VolumeDFT{L: bl, SrcL: l, Data: data}
+}
+
+// Pad returns the oversampling factor L/SrcL.
+func (v *VolumeDFT) Pad() int { return v.L / v.SrcL }
+
+// Grid converts the centred spectrum back to a real-space density map
+// of the original size (inverse of NewVolumeDFTPadded, cropping the
+// padding). The imaginary residue is discarded.
+func (v *VolumeDFT) Grid() *volume.Grid {
+	bl := v.L
+	data := append([]complex128(nil), v.Data...)
+	applyCenterRamp3D(data, bl, -1)
+	fft.NewPlan3D(bl, bl, bl).Inverse(data)
+	l := v.SrcL
+	off := bl/2 - l/2
+	g := volume.NewGrid(l)
+	for x := 0; x < l; x++ {
+		for y := 0; y < l; y++ {
+			for z := 0; z < l; z++ {
+				g.Set(x, y, z, real(data[((x+off)*bl+y+off)*bl+z+off]))
+			}
+		}
+	}
+	return g
+}
+
+// CGrid returns the centred spectrum as a CGrid sharing the same
+// backing array. Mutating it mutates the VolumeDFT.
+func (v *VolumeDFT) CGrid() *volume.CGrid {
+	return &volume.CGrid{L: v.L, Data: v.Data}
+}
+
+// LowPass zeroes all coefficients beyond frequency radius rmax (in
+// image frequency units), mirroring the paper's restriction of D̂ to a
+// sphere of radius r_map.
+func (v *VolumeDFT) LowPass(rmax float64) {
+	v.CGrid().LowPass(rmax * float64(v.Pad()))
+}
+
+// Sample returns the spectrum value at a continuous signed-frequency
+// point f in *image* frequency units (cycles per SrcL-pixel box, so
+// the view's Nyquist sphere has radius SrcL/2), using the given
+// interpolation. An oversampled spectrum is addressed on its finer
+// lattice transparently. Frequencies beyond Nyquist return zero.
+func (v *VolumeDFT) Sample(f geom.Vec3, interp Interpolation) complex128 {
+	if pad := v.Pad(); pad != 1 {
+		s := float64(pad)
+		f = geom.Vec3{X: f.X * s, Y: f.Y * s, Z: f.Z * s}
+	}
+	l := v.L
+	ny := float64(l) / 2
+	if f.X < -ny || f.X > ny || f.Y < -ny || f.Y > ny || f.Z < -ny || f.Z > ny {
+		return 0
+	}
+	if interp == Nearest {
+		xi := wrapFreq(int(math.Round(f.X)), l)
+		yi := wrapFreq(int(math.Round(f.Y)), l)
+		zi := wrapFreq(int(math.Round(f.Z)), l)
+		return v.Data[(xi*l+yi)*l+zi]
+	}
+	x0, y0, z0 := int(math.Floor(f.X)), int(math.Floor(f.Y)), int(math.Floor(f.Z))
+	fx, fy, fz := f.X-float64(x0), f.Y-float64(y0), f.Z-float64(z0)
+	var sum complex128
+	for dx := 0; dx <= 1; dx++ {
+		wx := 1 - fx
+		if dx == 1 {
+			wx = fx
+		}
+		if wx == 0 {
+			continue
+		}
+		xi := wrapFreq(x0+dx, l)
+		for dy := 0; dy <= 1; dy++ {
+			wy := 1 - fy
+			if dy == 1 {
+				wy = fy
+			}
+			if wy == 0 {
+				continue
+			}
+			yi := wrapFreq(y0+dy, l)
+			for dz := 0; dz <= 1; dz++ {
+				wz := 1 - fz
+				if dz == 1 {
+					wz = fz
+				}
+				if wz == 0 {
+					continue
+				}
+				zi := wrapFreq(z0+dz, l)
+				sum += complex(wx*wy*wz, 0) * v.Data[(xi*l+yi)*l+zi]
+			}
+		}
+	}
+	return sum
+}
+
+// wrapFreq maps a signed frequency to its DFT array index, wrapping
+// modulo l (Nyquist-adjacent corners alias, which matches the
+// periodicity of the DFT).
+func wrapFreq(f, l int) int {
+	f %= l
+	if f < 0 {
+		f += l
+	}
+	return f
+}
+
+// ExtractSlice computes the central section C of the volume spectrum
+// at orientation o: C[h,k] = D̂(h·x̂' + k·ŷ') for all signed image
+// frequencies (h,k) with h²+k² ≤ rmax², where x̂', ŷ' are the image
+// axes of the view (columns 0 and 1 of the orientation matrix).
+// Out-of-band coefficients are zero. The result is in the same
+// centred convention as ImageDFT, so it can be compared directly with
+// the transform of an experimental view.
+func (v *VolumeDFT) ExtractSlice(o geom.Euler, rmax float64, interp Interpolation) *volume.CImage {
+	out := volume.NewCImage(v.SrcL)
+	v.ExtractSliceInto(out, o, rmax, interp)
+	return out
+}
+
+// ExtractSliceInto is ExtractSlice writing into a caller-provided
+// image, zeroing it first; it avoids per-cut allocation in the hot
+// search loop.
+func (v *VolumeDFT) ExtractSliceInto(dst *volume.CImage, o geom.Euler, rmax float64, interp Interpolation) {
+	l := v.SrcL
+	if dst.L != l {
+		panic("fourier: slice destination size mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	m := o.Matrix()
+	xAxis, yAxis := m.Col(0), m.Col(1)
+	rmax = math.Min(rmax, float64(l)/2)
+	ri := int(rmax)
+	r2 := rmax * rmax
+	for h := -ri; h <= ri; h++ {
+		fh := float64(h)
+		for k := -ri; k <= ri; k++ {
+			fk := float64(k)
+			if fh*fh+fk*fk > r2 {
+				continue
+			}
+			f := xAxis.Scale(fh).Add(yAxis.Scale(fk))
+			val := v.Sample(f, interp)
+			dst.Data[wrapFreq(h, l)*l+wrapFreq(k, l)] = val
+		}
+	}
+}
+
+// ImageDFT computes the centred 2-D DFT F of a view.
+func ImageDFT(im *volume.Image) *volume.CImage {
+	l := im.L
+	c := im.Complex()
+	fft.NewPlan2D(l, l).Forward(c.Data)
+	applyCenterRamp2D(c.Data, l, +1)
+	return c
+}
+
+// InverseImageDFT converts a centred spectrum back to a real image.
+func InverseImageDFT(f *volume.CImage) *volume.Image {
+	l := f.L
+	data := append([]complex128(nil), f.Data...)
+	applyCenterRamp2D(data, l, -1)
+	fft.NewPlan2D(l, l).Inverse(data)
+	im := volume.NewImage(l)
+	for i, v := range data {
+		im.Data[i] = real(v)
+	}
+	return im
+}
+
+// ShiftPhase applies the Fourier shift theorem in place: the image is
+// translated by (dx, dy) pixels, F[h,k] *= exp(−2πi(h·dx + k·dy)/l).
+// This is how centre refinement (step k) moves the particle origin
+// without resampling pixels.
+func ShiftPhase(f *volume.CImage, dx, dy float64) {
+	l := f.L
+	for j := 0; j < l; j++ {
+		h := float64(fft.FreqIndex(j, l))
+		for k := 0; k < l; k++ {
+			kk := float64(fft.FreqIndex(k, l))
+			angle := -2 * math.Pi * (h*dx + kk*dy) / float64(l)
+			f.Data[j*l+k] *= cmplx.Exp(complex(0, angle))
+		}
+	}
+}
+
+// applyCenterRamp3D multiplies coefficient (fx,fy,fz) by
+// exp(sign·2πi·(fx+fy+fz)·c/l) with c = l/2, converting between
+// index-0-origin and centred spectra.
+func applyCenterRamp3D(data []complex128, l int, sign float64) {
+	ramp := centerRamp(l, sign)
+	for x := 0; x < l; x++ {
+		rx := ramp[x]
+		for y := 0; y < l; y++ {
+			rxy := rx * ramp[y]
+			base := (x*l + y) * l
+			for z := 0; z < l; z++ {
+				data[base+z] *= rxy * ramp[z]
+			}
+		}
+	}
+}
+
+func applyCenterRamp2D(data []complex128, l int, sign float64) {
+	ramp := centerRamp(l, sign)
+	for j := 0; j < l; j++ {
+		rj := ramp[j]
+		for k := 0; k < l; k++ {
+			data[j*l+k] *= rj * ramp[k]
+		}
+	}
+}
+
+// centerRamp tabulates exp(sign·2πi·f·(l/2)/l) for every array index.
+func centerRamp(l int, sign float64) []complex128 {
+	c := float64(l / 2)
+	out := make([]complex128, l)
+	for i := 0; i < l; i++ {
+		f := float64(fft.FreqIndex(i, l))
+		out[i] = cmplx.Exp(complex(0, sign*2*math.Pi*f*c/float64(l)))
+	}
+	return out
+}

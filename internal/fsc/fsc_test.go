@@ -1,0 +1,172 @@
+package fsc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/phantom"
+	"repro/internal/volume"
+)
+
+func TestIdenticalMapsGiveUnitFSC(t *testing.T) {
+	m := phantom.SindbisLike(24)
+	c, err := Compute(m, m, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Points {
+		if math.Abs(p.CC-1) > 1e-9 {
+			t.Fatalf("shell %d: CC %g, want 1", p.Shell, p.CC)
+		}
+	}
+	if res := c.ResolutionAt(0.5); res != c.Points[len(c.Points)-1].ResolutionA {
+		t.Fatalf("identical maps: resolution %g, want finest shell", res)
+	}
+}
+
+func TestIndependentNoiseGivesLowFSC(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	l := 24
+	a, b := volume.NewGrid(l), volume.NewGrid(l)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+		b.Data[i] = r.NormFloat64()
+	}
+	c, err := Compute(a, b, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean := c.MeanCC(); math.Abs(mean) > 0.1 {
+		t.Fatalf("independent noise mean FSC %g", mean)
+	}
+}
+
+func TestFSCSymmetric(t *testing.T) {
+	m := phantom.SindbisLike(16)
+	n := phantom.ReoLike(16)
+	ab, _ := Compute(m, n, 2.0)
+	ba, _ := Compute(n, m, 2.0)
+	for i := range ab.Points {
+		if math.Abs(ab.Points[i].CC-ba.Points[i].CC) > 1e-12 {
+			t.Fatal("FSC not symmetric in its arguments")
+		}
+	}
+}
+
+func TestNoisyCopyFallsWithFrequency(t *testing.T) {
+	// A noisy copy of a map should correlate well at low frequency
+	// and progressively worse at high frequency.
+	r := rand.New(rand.NewSource(2))
+	m := phantom.SindbisLike(32)
+	noisy := m.Clone()
+	_, _, _, std := m.Stats()
+	for i := range noisy.Data {
+		noisy.Data[i] += 1.5 * std * r.NormFloat64()
+	}
+	c, err := Compute(m, noisy, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := c.Points[0].CC
+	last := c.Points[len(c.Points)-1].CC
+	if first < 0.8 {
+		t.Fatalf("low-frequency shell CC %g, want high", first)
+	}
+	if last >= first {
+		t.Fatalf("FSC did not fall with frequency: first %g last %g", first, last)
+	}
+	res := c.ResolutionAt(0.5)
+	if res <= c.Points[len(c.Points)-1].ResolutionA || res >= c.Points[0].ResolutionA {
+		t.Fatalf("0.5 crossing %g Å outside curve range", res)
+	}
+}
+
+func TestResolutionAtMonotoneInThreshold(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m := phantom.SindbisLike(24)
+	noisy := m.Clone()
+	_, _, _, std := m.Stats()
+	for i := range noisy.Data {
+		noisy.Data[i] += 2 * std * r.NormFloat64()
+	}
+	c, _ := Compute(m, noisy, 2.0)
+	r9 := c.ResolutionAt(0.9)
+	r5 := c.ResolutionAt(0.5)
+	r1 := c.ResolutionAt(0.143)
+	// A stricter threshold cannot claim finer resolution.
+	if !(r9 >= r5 && r5 >= r1) {
+		t.Fatalf("thresholds not monotone: 0.9→%g 0.5→%g 0.143→%g", r9, r5, r1)
+	}
+}
+
+func TestShellResolutionLabels(t *testing.T) {
+	m := phantom.SindbisLike(16)
+	c, _ := Compute(m, m, 3.0)
+	// Shell s of a 16-box at 3 Å/px: resolution = 16·3/s.
+	for _, p := range c.Points {
+		want := 16.0 * 3.0 / float64(p.Shell)
+		if math.Abs(p.ResolutionA-want) > 1e-9 {
+			t.Fatalf("shell %d labeled %g Å, want %g", p.Shell, p.ResolutionA, want)
+		}
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	a := volume.NewGrid(8)
+	b := volume.NewGrid(10)
+	if _, err := Compute(a, b, 2); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := Compute(a, a, 0); err == nil {
+		t.Fatal("zero pixel size accepted")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	m := phantom.SindbisLike(16)
+	c, _ := Compute(m, m, 2)
+	worse := &Curve{PixelA: 2}
+	for _, p := range c.Points {
+		q := p
+		q.CC -= 0.2
+		worse.Points = append(worse.Points, q)
+	}
+	if !c.Dominates(worse, 0.9) {
+		t.Fatal("unit curve should dominate degraded curve")
+	}
+	if worse.Dominates(c, 0.5) {
+		t.Fatal("degraded curve should not dominate unit curve")
+	}
+}
+
+func TestSSNR(t *testing.T) {
+	// FSC 0.5 ↔ SSNR 2 (the classical justification for the 0.5
+	// criterion); FSC 1/3 ↔ SSNR 1.
+	if got := SSNR(0.5); math.Abs(got-2) > 1e-12 {
+		t.Errorf("SSNR(0.5) = %g, want 2", got)
+	}
+	if got := SSNR(1.0 / 3); math.Abs(got-1) > 1e-12 {
+		t.Errorf("SSNR(1/3) = %g, want 1", got)
+	}
+	if SSNR(-0.2) != 0 {
+		t.Error("negative FSC must map to 0")
+	}
+	if !math.IsInf(SSNR(1), 1) {
+		t.Error("FSC 1 must map to +Inf")
+	}
+}
+
+func TestSSNRCurveMonotone(t *testing.T) {
+	m := phantom.SindbisLike(16)
+	c, _ := Compute(m, m, 2)
+	ss := c.SSNRCurve()
+	if len(ss) != len(c.Points) {
+		t.Fatal("length mismatch")
+	}
+	for _, v := range ss {
+		if !math.IsInf(v, 1) {
+			t.Fatal("identical maps must have infinite SSNR everywhere")
+		}
+	}
+}

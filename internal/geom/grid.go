@@ -1,0 +1,137 @@
+package geom
+
+import "math"
+
+// Window is a rectangular search domain in (θ, φ, ω) space: the
+// half-open box [Min, Max] sampled at Step degrees per axis. It is the
+// "search window" of the sliding-window algorithm (paper step f).
+type Window struct {
+	Min, Max Euler   // inclusive corner orientations
+	Step     float64 // angular resolution r_angular, degrees
+}
+
+// CenteredWindow builds a window of half-width half degrees on every
+// axis around center, sampled at step degrees. With half = 4.5·step it
+// yields the paper's typical w_θ = w_φ = w_ω = 10 cuts per axis.
+func CenteredWindow(center Euler, half, step float64) Window {
+	return Window{
+		Min:  Euler{center.Theta - half, center.Phi - half, center.Omega - half},
+		Max:  Euler{center.Theta + half, center.Phi + half, center.Omega + half},
+		Step: step,
+	}
+}
+
+// Counts returns the number of samples per axis (w_θ, w_φ, w_ω).
+func (w Window) Counts() (nt, np, no int) {
+	count := func(lo, hi float64) int {
+		if hi < lo {
+			return 0
+		}
+		return int(math.Floor((hi-lo)/w.Step+1e-9)) + 1
+	}
+	return count(w.Min.Theta, w.Max.Theta),
+		count(w.Min.Phi, w.Max.Phi),
+		count(w.Min.Omega, w.Max.Omega)
+}
+
+// Size returns the total number of orientations in the window,
+// w = w_θ · w_φ · w_ω.
+func (w Window) Size() int {
+	nt, np, no := w.Counts()
+	return nt * np * no
+}
+
+// Orientations enumerates every orientation in the window in
+// deterministic (θ-major) order.
+func (w Window) Orientations() []Euler {
+	nt, np, no := w.Counts()
+	out := make([]Euler, 0, nt*np*no)
+	for i := 0; i < nt; i++ {
+		for j := 0; j < np; j++ {
+			for k := 0; k < no; k++ {
+				out = append(out, Euler{
+					w.Min.Theta + float64(i)*w.Step,
+					w.Min.Phi + float64(j)*w.Step,
+					w.Min.Omega + float64(k)*w.Step,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// OnEdge reports whether orientation e lies on the outermost layer of
+// the window grid — the trigger for sliding the window (paper step i).
+func (w Window) OnEdge(e Euler) bool {
+	edge := func(v, lo, hi float64) bool {
+		return v <= lo+w.Step/2 || v >= hi-w.Step/2
+	}
+	nt, np, no := w.Counts()
+	// An axis sampled at a single point can never trigger a slide.
+	onT := nt > 1 && edge(e.Theta, w.Min.Theta, w.Max.Theta)
+	onP := np > 1 && edge(e.Phi, w.Min.Phi, w.Max.Phi)
+	onO := no > 1 && edge(e.Omega, w.Min.Omega, w.Max.Omega)
+	return onT || onP || onO
+}
+
+// Recenter returns a window of identical shape centred on e: the
+// sliding-window move.
+func (w Window) Recenter(e Euler) Window {
+	halfT := (w.Max.Theta - w.Min.Theta) / 2
+	halfP := (w.Max.Phi - w.Min.Phi) / 2
+	halfO := (w.Max.Omega - w.Min.Omega) / 2
+	return Window{
+		Min:  Euler{e.Theta - halfT, e.Phi - halfP, e.Omega - halfO},
+		Max:  Euler{e.Theta + halfT, e.Phi + halfP, e.Omega + halfO},
+		Step: w.Step,
+	}
+}
+
+// SearchSpaceSize returns the cardinality |P| of the full search space
+// for ranges [min, max] per axis at resolution r (paper §3):
+//
+//	|P| = Π (max_i − min_i)/r.
+//
+// For an asymmetric particle searched over 0..180° on all three axes
+// at r = 0.1°, |P| = 1800³ ≈ 5.8·10⁹.
+func SearchSpaceSize(min, max Euler, r float64) float64 {
+	return ((max.Theta - min.Theta) / r) *
+		((max.Phi - min.Phi) / r) *
+		((max.Omega - min.Omega) / r)
+}
+
+// SphereGrid enumerates view directions (θ, φ) covering the sphere at
+// approximately uniform angular spacing step (degrees), with φ rings
+// thinned by sin θ so sampling density is roughly even. ω is set to 0.
+// This is the classical grid used to tabulate "calculated views"
+// (paper Fig. 1b).
+func SphereGrid(step float64) []Euler {
+	var out []Euler
+	nTheta := int(math.Round(180/step)) + 1
+	for i := 0; i < nTheta; i++ {
+		theta := float64(i) * step
+		st := math.Sin(DegToRad(theta))
+		nPhi := 1
+		if st > 1e-9 {
+			nPhi = int(math.Max(1, math.Round(360*st/step)))
+		}
+		for j := 0; j < nPhi; j++ {
+			out = append(out, Euler{theta, float64(j) * 360 / float64(nPhi), 0})
+		}
+	}
+	return out
+}
+
+// AsymmetricUnitViews counts the calculated views of a sphere grid at
+// the given step that fall inside the asymmetric unit of group g. For
+// the icosahedral group at 3° this is ~1/60 of the full sphere — the
+// small search domain of Fig. 1b; for C1 it is the entire sphere.
+func AsymmetricUnitViews(g *Group, step float64) int {
+	n := 0
+	for _, e := range SphereGrid(step) {
+		if g.InAsymmetricUnit(e.ViewAxis()) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCenteredWindowCounts(t *testing.T) {
+	w := CenteredWindow(Euler{60, 100, 200}, 4.5, 1)
+	nt, np, no := w.Counts()
+	if nt != 10 || np != 10 || no != 10 {
+		t.Fatalf("counts = (%d,%d,%d), want (10,10,10)", nt, np, no)
+	}
+	if w.Size() != 1000 {
+		t.Fatalf("size = %d, want 1000 (the paper's typical w)", w.Size())
+	}
+}
+
+func TestWindowOrientationsSpacing(t *testing.T) {
+	w := CenteredWindow(Euler{10, 20, 30}, 2, 1)
+	os := w.Orientations()
+	if len(os) != w.Size() {
+		t.Fatalf("len(Orientations) = %d, want %d", len(os), w.Size())
+	}
+	// First and last must be the corners.
+	first, last := os[0], os[len(os)-1]
+	if first.Theta != 8 || last.Theta != 12 {
+		t.Errorf("θ range [%g, %g], want [8, 12]", first.Theta, last.Theta)
+	}
+	// Center must be present.
+	found := false
+	for _, o := range os {
+		if o == (Euler{10, 20, 30}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("window does not contain its own center")
+	}
+}
+
+func TestWindowOnEdge(t *testing.T) {
+	w := CenteredWindow(Euler{50, 50, 50}, 4, 1)
+	if !w.OnEdge(Euler{46, 50, 50}) {
+		t.Error("θ at min edge not detected")
+	}
+	if !w.OnEdge(Euler{50, 54, 50}) {
+		t.Error("φ at max edge not detected")
+	}
+	if w.OnEdge(Euler{50, 50, 50}) {
+		t.Error("center reported on edge")
+	}
+	if w.OnEdge(Euler{49, 51, 50}) {
+		t.Error("interior point reported on edge")
+	}
+}
+
+func TestWindowOnEdgeSinglePointAxis(t *testing.T) {
+	// A window with zero extent on one axis must never slide along it.
+	w := Window{Min: Euler{50, 0, 10}, Max: Euler{50, 0, 20}, Step: 1}
+	if w.OnEdge(Euler{50, 0, 15}) {
+		t.Error("degenerate axes triggered edge")
+	}
+	if !w.OnEdge(Euler{50, 0, 10}) {
+		t.Error("ω edge missed")
+	}
+}
+
+func TestWindowRecenter(t *testing.T) {
+	w := CenteredWindow(Euler{50, 50, 50}, 4, 1)
+	w2 := w.Recenter(Euler{46, 54, 50})
+	if w2.Min.Theta != 42 || w2.Max.Theta != 50 {
+		t.Errorf("recentered θ range [%g, %g], want [42, 50]", w2.Min.Theta, w2.Max.Theta)
+	}
+	if w2.Size() != w.Size() {
+		t.Errorf("recenter changed window size: %d -> %d", w.Size(), w2.Size())
+	}
+}
+
+func TestSearchSpaceSizePaperExample(t *testing.T) {
+	// Paper §3: r=0.1°, range 0..180° on all axes gives (1800)³.
+	got := SearchSpaceSize(Euler{0, 0, 0}, Euler{180, 180, 180}, 0.1)
+	want := 1800.0 * 1800 * 1800
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("search space = %g, want %g", got, want)
+	}
+}
+
+func TestSphereGridCoverage(t *testing.T) {
+	views := SphereGrid(3)
+	// Roughly 4π/(step²) points: 41253 deg² of sphere / 9 ≈ 4580.
+	if len(views) < 3000 || len(views) > 7000 {
+		t.Fatalf("3° sphere grid has %d views, expected ≈4600", len(views))
+	}
+	// Poles must be present exactly once each.
+	poles := 0
+	for _, v := range views {
+		if v.Theta == 0 || v.Theta == 180 {
+			poles++
+		}
+	}
+	if poles != 2 {
+		t.Errorf("%d pole samples, want 2", poles)
+	}
+}
+
+func TestAsymmetricUnitViewsIcosahedral(t *testing.T) {
+	// Fig. 1b: at 3° the icosahedral asymmetric unit holds a small
+	// number of views (~1/60 of the sphere grid).
+	g := Icosahedral()
+	full := len(SphereGrid(3))
+	in := AsymmetricUnitViews(g, 3)
+	ratio := float64(full) / float64(in)
+	if ratio < 40 || ratio > 80 {
+		t.Fatalf("icosahedral reduction ratio %.1f (views %d of %d), want ≈60", ratio, in, full)
+	}
+}
+
+func TestAsymmetricUnitViewsC1IsFullSphere(t *testing.T) {
+	if got, want := AsymmetricUnitViews(Cyclic(1), 6), len(SphereGrid(6)); got != want {
+		t.Fatalf("C1 asymmetric unit views = %d, want full sphere %d", got, want)
+	}
+}

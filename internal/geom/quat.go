@@ -1,0 +1,160 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Quat is a unit quaternion (w, x, y, z) representing a rotation —
+// the numerically stable interchange format for orientations:
+// composition without drift, unambiguous distance, and exact uniform
+// sampling of SO(3).
+type Quat struct {
+	W, X, Y, Z float64
+}
+
+// IdentityQuat returns the identity rotation.
+func IdentityQuat() Quat { return Quat{W: 1} }
+
+// Mul composes two rotations: (q·p) applies p first, then q —
+// matching matrix composition Q.Matrix()·P.Matrix().
+func (q Quat) Mul(p Quat) Quat {
+	return Quat{
+		W: q.W*p.W - q.X*p.X - q.Y*p.Y - q.Z*p.Z,
+		X: q.W*p.X + q.X*p.W + q.Y*p.Z - q.Z*p.Y,
+		Y: q.W*p.Y - q.X*p.Z + q.Y*p.W + q.Z*p.X,
+		Z: q.W*p.Z + q.X*p.Y - q.Y*p.X + q.Z*p.W,
+	}
+}
+
+// Conj returns the inverse rotation (for unit quaternions).
+func (q Quat) Conj() Quat { return Quat{q.W, -q.X, -q.Y, -q.Z} }
+
+// Norm returns the quaternion magnitude.
+func (q Quat) Norm() float64 {
+	return math.Sqrt(q.W*q.W + q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+}
+
+// Normalize returns q scaled to unit magnitude; the zero quaternion
+// maps to the identity.
+func (q Quat) Normalize() Quat {
+	n := q.Norm()
+	if n == 0 {
+		return IdentityQuat()
+	}
+	return Quat{q.W / n, q.X / n, q.Y / n, q.Z / n}
+}
+
+// Matrix converts the unit quaternion to a rotation matrix.
+func (q Quat) Matrix() Mat3 {
+	w, x, y, z := q.W, q.X, q.Y, q.Z
+	return Mat3{
+		{1 - 2*(y*y+z*z), 2 * (x*y - w*z), 2 * (x*z + w*y)},
+		{2 * (x*y + w*z), 1 - 2*(x*x+z*z), 2 * (y*z - w*x)},
+		{2 * (x*z - w*y), 2 * (y*z + w*x), 1 - 2*(x*x+y*y)},
+	}
+}
+
+// QuatFromMatrix converts a rotation matrix to a unit quaternion
+// (Shepperd's method: pick the dominant diagonal branch for
+// stability).
+func QuatFromMatrix(m Mat3) Quat {
+	tr := m.Trace()
+	var q Quat
+	switch {
+	case tr > 0:
+		s := math.Sqrt(tr+1) * 2
+		q = Quat{
+			W: s / 4,
+			X: (m[2][1] - m[1][2]) / s,
+			Y: (m[0][2] - m[2][0]) / s,
+			Z: (m[1][0] - m[0][1]) / s,
+		}
+	case m[0][0] > m[1][1] && m[0][0] > m[2][2]:
+		s := math.Sqrt(1+m[0][0]-m[1][1]-m[2][2]) * 2
+		q = Quat{
+			W: (m[2][1] - m[1][2]) / s,
+			X: s / 4,
+			Y: (m[0][1] + m[1][0]) / s,
+			Z: (m[0][2] + m[2][0]) / s,
+		}
+	case m[1][1] > m[2][2]:
+		s := math.Sqrt(1+m[1][1]-m[0][0]-m[2][2]) * 2
+		q = Quat{
+			W: (m[0][2] - m[2][0]) / s,
+			X: (m[0][1] + m[1][0]) / s,
+			Y: s / 4,
+			Z: (m[1][2] + m[2][1]) / s,
+		}
+	default:
+		s := math.Sqrt(1+m[2][2]-m[0][0]-m[1][1]) * 2
+		q = Quat{
+			W: (m[1][0] - m[0][1]) / s,
+			X: (m[0][2] + m[2][0]) / s,
+			Y: (m[1][2] + m[2][1]) / s,
+			Z: s / 4,
+		}
+	}
+	return q.Normalize()
+}
+
+// Euler converts the quaternion to the paper's (θ, φ, ω) angles.
+func (q Quat) Euler() Euler { return FromMatrix(q.Matrix()) }
+
+// QuatFromEuler converts (θ, φ, ω) to a quaternion.
+func QuatFromEuler(e Euler) Quat { return QuatFromMatrix(e.Matrix()) }
+
+// QuatDistance returns the rotation angle between two orientations in
+// degrees. It forms the relative rotation a*·b and uses
+// 2·atan2(‖vector‖, |scalar|), which is well-conditioned at both ends
+// of the angle range (acos of the dot product is not, near 0°).
+func QuatDistance(a, b Quat) float64 {
+	rel := a.Conj().Mul(b)
+	v := math.Sqrt(rel.X*rel.X + rel.Y*rel.Y + rel.Z*rel.Z)
+	return RadToDeg(2 * math.Atan2(v, math.Abs(rel.W)))
+}
+
+// Slerp spherically interpolates from a (t=0) to b (t=1) along the
+// shortest great-circle arc on the rotation group — useful for
+// generating smooth orientation trajectories (e.g. tilt series).
+func Slerp(a, b Quat, t float64) Quat {
+	dot := a.W*b.W + a.X*b.X + a.Y*b.Y + a.Z*b.Z
+	if dot < 0 {
+		// Take the short way round the double cover.
+		b = Quat{-b.W, -b.X, -b.Y, -b.Z}
+		dot = -dot
+	}
+	if dot > 0.9995 {
+		// Nearly parallel: linear interpolation avoids 0/0.
+		return Quat{
+			a.W + t*(b.W-a.W),
+			a.X + t*(b.X-a.X),
+			a.Y + t*(b.Y-a.Y),
+			a.Z + t*(b.Z-a.Z),
+		}.Normalize()
+	}
+	theta := math.Acos(dot)
+	sa := math.Sin((1 - t) * theta)
+	sb := math.Sin(t * theta)
+	s := math.Sin(theta)
+	return Quat{
+		(sa*a.W + sb*b.W) / s,
+		(sa*a.X + sb*b.X) / s,
+		(sa*a.Y + sb*b.Y) / s,
+		(sa*a.Z + sb*b.Z) / s,
+	}.Normalize()
+}
+
+// RandomQuat draws a rotation uniformly from SO(3) (Haar measure)
+// using Shoemake's subgroup algorithm.
+func RandomQuat(rng *rand.Rand) Quat {
+	u1, u2, u3 := rng.Float64(), rng.Float64(), rng.Float64()
+	s1 := math.Sqrt(1 - u1)
+	s2 := math.Sqrt(u1)
+	return Quat{
+		W: s1 * math.Sin(2*math.Pi*u2),
+		X: s1 * math.Cos(2*math.Pi*u2),
+		Y: s2 * math.Sin(2*math.Pi*u3),
+		Z: s2 * math.Cos(2*math.Pi*u3),
+	}
+}

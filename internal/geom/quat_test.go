@@ -1,0 +1,140 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuatMatrixRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		q := RandomQuat(rng)
+		back := QuatFromMatrix(q.Matrix())
+		if d := QuatDistance(q, back); d > 1e-6 {
+			t.Fatalf("quat->matrix->quat differs by %g°", d)
+		}
+	}
+}
+
+func TestQuatMatrixIsRotation(t *testing.T) {
+	f := func(w, x, y, z float64) bool {
+		q := Quat{w, x, y, z}.Normalize()
+		return q.Matrix().IsRotation(1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuatMulMatchesMatrixProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		a, b := RandomQuat(rng), RandomQuat(rng)
+		mq := a.Mul(b).Matrix()
+		mm := a.Matrix().Mul(b.Matrix())
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				if math.Abs(mq[r][c]-mm[r][c]) > 1e-12 {
+					t.Fatalf("quat product disagrees with matrix product at (%d,%d)", r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestQuatConjIsInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		q := RandomQuat(rng)
+		if d := QuatDistance(q.Mul(q.Conj()), IdentityQuat()); d > 1e-9 {
+			t.Fatalf("q·q* differs from identity by %g°", d)
+		}
+	}
+}
+
+func TestQuatEulerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		e := Euler{rng.Float64() * 180, rng.Float64() * 360, rng.Float64() * 360}
+		q := QuatFromEuler(e)
+		if d := AngularDistance(e, q.Euler()); d > 1e-6 {
+			t.Fatalf("euler->quat->euler differs by %g°", d)
+		}
+	}
+}
+
+func TestQuatDistanceMatchesAngularDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		a := Euler{rng.Float64() * 180, rng.Float64() * 360, rng.Float64() * 360}
+		b := Euler{rng.Float64() * 180, rng.Float64() * 360, rng.Float64() * 360}
+		d1 := AngularDistance(a, b)
+		d2 := QuatDistance(QuatFromEuler(a), QuatFromEuler(b))
+		if math.Abs(d1-d2) > 1e-6 {
+			t.Fatalf("distances disagree: matrix %g° vs quat %g°", d1, d2)
+		}
+	}
+}
+
+func TestSlerpEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a, b := RandomQuat(rng), RandomQuat(rng)
+	if d := QuatDistance(Slerp(a, b, 0), a); d > 1e-9 {
+		t.Fatalf("Slerp(0) off by %g°", d)
+	}
+	if d := QuatDistance(Slerp(a, b, 1), b); d > 1e-9 {
+		t.Fatalf("Slerp(1) off by %g°", d)
+	}
+}
+
+func TestSlerpMidpointGeodesic(t *testing.T) {
+	// The midpoint must be equidistant from both endpoints, and the
+	// two halves must sum to the whole.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		a, b := RandomQuat(rng), RandomQuat(rng)
+		mid := Slerp(a, b, 0.5)
+		da := QuatDistance(a, mid)
+		db := QuatDistance(mid, b)
+		if math.Abs(da-db) > 1e-6 {
+			t.Fatalf("midpoint not equidistant: %g vs %g", da, db)
+		}
+		if total := QuatDistance(a, b); math.Abs(da+db-total) > 1e-6 {
+			t.Fatalf("halves %g+%g != whole %g", da, db, total)
+		}
+	}
+}
+
+func TestSlerpNearlyParallel(t *testing.T) {
+	a := IdentityQuat()
+	b := QuatFromEuler(Euler{Theta: 1e-4})
+	mid := Slerp(a, b, 0.5)
+	if math.Abs(mid.Norm()-1) > 1e-12 {
+		t.Fatal("near-parallel slerp not unit")
+	}
+}
+
+func TestRandomQuatUniform(t *testing.T) {
+	// Haar uniformity proxy: the rotation angle distribution of
+	// uniform rotations has density (1−cosθ)/π; mean angle ≈ 126.5°.
+	rng := rand.New(rand.NewSource(8))
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		q := RandomQuat(rng)
+		sum += QuatDistance(q, IdentityQuat())
+	}
+	mean := sum / float64(n)
+	want := 90 + RadToDeg(2/math.Pi) // = 126.48°
+	if math.Abs(mean-want) > 1.5 {
+		t.Fatalf("mean rotation angle %g°, want ≈%g°", mean, want)
+	}
+}
+
+func TestQuatNormalizeZero(t *testing.T) {
+	if (Quat{}).Normalize() != IdentityQuat() {
+		t.Fatal("zero quaternion did not normalize to identity")
+	}
+}

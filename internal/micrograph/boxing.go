@@ -1,0 +1,118 @@
+package micrograph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/volume"
+)
+
+// Micrograph is a large synthetic field image containing many particle
+// projections at jittered positions — what the microscope's CCD
+// records (one micrograph holds "real images of many identical virus
+// particles frozen in the sample in different orientations").
+type Micrograph struct {
+	Field *volume.Image
+	// Nominal are the intended particle positions (grid points); the
+	// actual particles are jittered around them, which is what makes
+	// boxing and centring non-trivial.
+	Nominal [][2]int
+	// Actual are the true particle centres after jitter.
+	Actual [][2]float64
+	// BoxSize is the particle image edge length used at synthesis.
+	BoxSize int
+}
+
+// MakeMicrograph lays the dataset's views out on a rows×cols grid with
+// the given spacing, adding jitter to the true particle positions.
+// At most rows·cols views are placed.
+func MakeMicrograph(ds *Dataset, rows, cols int, jitter float64, seed int64) *Micrograph {
+	l := ds.L
+	spacing := l + l/4
+	field := volume.NewImage(rows*spacing + l)
+	if field.L < cols*spacing+l {
+		field = volume.NewImage(cols*spacing + l)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mg := &Micrograph{Field: field, BoxSize: l}
+	n := 0
+	for r := 0; r < rows && n < len(ds.Views); r++ {
+		for c := 0; c < cols && n < len(ds.Views); c++ {
+			ox := r*spacing + l/2
+			oy := c*spacing + l/2
+			jx := (2*rng.Float64() - 1) * jitter
+			jy := (2*rng.Float64() - 1) * jitter
+			im := ds.Views[n].Image
+			// Paste the view so its centre lands at (ox+jx, oy+jy).
+			for j := 0; j < l; j++ {
+				for k := 0; k < l; k++ {
+					fx := ox + j - l/2
+					fy := oy + k - l/2
+					if fx >= 0 && fx < field.L && fy >= 0 && fy < field.L {
+						field.Add(fx, fy, im.Interp(float64(j)-jx, float64(k)-jy))
+					}
+				}
+			}
+			mg.Nominal = append(mg.Nominal, [2]int{ox, oy})
+			mg.Actual = append(mg.Actual, [2]float64{float64(ox) + jx, float64(oy) + jy})
+			n++
+		}
+	}
+	return mg
+}
+
+// BoxParticle extracts an l×l box centred on the given nominal
+// position. Positions too close to the field edge return an error.
+func (mg *Micrograph) BoxParticle(pos [2]int) (*volume.Image, error) {
+	l := mg.BoxSize
+	x0, y0 := pos[0]-l/2, pos[1]-l/2
+	if x0 < 0 || y0 < 0 || x0+l > mg.Field.L || y0+l > mg.Field.L {
+		return nil, fmt.Errorf("micrograph: box at (%d,%d) exceeds field", pos[0], pos[1])
+	}
+	out := volume.NewImage(l)
+	for j := 0; j < l; j++ {
+		for k := 0; k < l; k++ {
+			out.Set(j, k, mg.Field.At(x0+j, y0+k))
+		}
+	}
+	return out, nil
+}
+
+// BoxAll extracts every nominal particle and pre-centres each box by
+// its centre of mass, returning the boxed images and the estimated
+// particle centres in field coordinates (step A: "extract individual
+// particle projections from micrographs and identify the center of
+// each projection").
+func (mg *Micrograph) BoxAll() ([]*volume.Image, [][2]float64, error) {
+	var images []*volume.Image
+	var centers [][2]float64
+	for _, pos := range mg.Nominal {
+		im, err := mg.BoxParticle(pos)
+		if err != nil {
+			return nil, nil, err
+		}
+		cx, cy := im.CenterOfMass()
+		images = append(images, im)
+		centers = append(centers, [2]float64{
+			float64(pos[0]-mg.BoxSize/2) + cx,
+			float64(pos[1]-mg.BoxSize/2) + cy,
+		})
+	}
+	return images, centers, nil
+}
+
+// CenteringError reports the mean distance in pixels between estimated
+// and true particle centres — the quality of step A's centring.
+func CenteringError(estimated, actual [][2]float64) float64 {
+	if len(estimated) != len(actual) {
+		panic("micrograph: center list length mismatch")
+	}
+	var sum float64
+	for i := range estimated {
+		dx := estimated[i][0] - actual[i][0]
+		dy := estimated[i][1] - actual[i][1]
+		sum += math.Hypot(dx, dy)
+	}
+	return sum / float64(len(estimated))
+}

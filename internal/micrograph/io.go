@@ -1,0 +1,213 @@
+package micrograph
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/ctf"
+	"repro/internal/geom"
+	"repro/internal/volume"
+)
+
+// On-disk dataset layout (plain files, mirroring the paper's "file
+// containing the 2D views" + "orientation file" inputs):
+//
+//	truth.map           ground-truth density (volume binary format)
+//	views.dat           concatenated view images (volume binary format)
+//	orientations.txt    one line per view: θ φ ω dx dy group defocusA
+//	meta.txt            box size, pixel size, view count, ctf flag
+
+// Save writes the dataset under dir, creating it if needed.
+func (ds *Dataset) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tf, err := os.Create(filepath.Join(dir, "truth.map"))
+	if err != nil {
+		return err
+	}
+	if _, err := ds.Truth.WriteTo(tf); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+
+	vf, err := os.Create(filepath.Join(dir, "views.dat"))
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(vf)
+	for _, v := range ds.Views {
+		if _, err := v.Image.WriteTo(bw); err != nil {
+			vf.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		vf.Close()
+		return err
+	}
+	if err := vf.Close(); err != nil {
+		return err
+	}
+
+	if err := WriteOrientations(filepath.Join(dir, "orientations.txt"), ds.Views); err != nil {
+		return err
+	}
+
+	meta := fmt.Sprintf("l %d\npixelA %g\nviews %d\nctf %t\n", ds.L, ds.PixelA, len(ds.Views), ds.HasCTF)
+	return os.WriteFile(filepath.Join(dir, "meta.txt"), []byte(meta), 0o644)
+}
+
+// Load reads a dataset saved by Save.
+func Load(dir string) (*Dataset, error) {
+	var l, nViews int
+	var pixelA float64
+	var hasCTF bool
+	mf, err := os.ReadFile(filepath.Join(dir, "meta.txt"))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Sscanf(string(mf), "l %d\npixelA %g\nviews %d\nctf %t\n",
+		&l, &pixelA, &nViews, &hasCTF); err != nil {
+		return nil, fmt.Errorf("micrograph: parsing meta.txt: %w", err)
+	}
+
+	tf, err := os.Open(filepath.Join(dir, "truth.map"))
+	if err != nil {
+		return nil, err
+	}
+	truth, err := volume.ReadGrid(tf)
+	tf.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	vf, err := os.Open(filepath.Join(dir, "views.dat"))
+	if err != nil {
+		return nil, err
+	}
+	defer vf.Close()
+	br := bufio.NewReader(vf)
+	ds := &Dataset{L: l, PixelA: pixelA, Truth: truth, HasCTF: hasCTF}
+	for i := 0; i < nViews; i++ {
+		im, err := volume.ReadImage(br)
+		if err != nil {
+			return nil, fmt.Errorf("micrograph: reading view %d: %w", i, err)
+		}
+		ds.Views = append(ds.Views, &View{Image: im})
+	}
+	if err := readOrientations(filepath.Join(dir, "orientations.txt"), ds.Views, pixelA); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// WriteOrientations writes the per-view ground truth in the textual
+// orientation-file format (the analogue of the paper's O^init /
+// O^refined files).
+func WriteOrientations(path string, views []*View) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	fmt.Fprintln(bw, "# theta phi omega dx dy group defocusA")
+	for _, v := range views {
+		fmt.Fprintf(bw, "%.17g %.17g %.17g %.17g %.17g %d %.17g\n",
+			v.TrueOrient.Theta, v.TrueOrient.Phi, v.TrueOrient.Omega,
+			v.TrueCenter[0], v.TrueCenter[1], v.Group, v.CTF.DefocusA)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteOrientationList writes plain orientations (e.g. refined ones)
+// one per line.
+func WriteOrientationList(path string, orients []geom.Euler, centers [][2]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	fmt.Fprintln(bw, "# theta phi omega dx dy")
+	for i, o := range orients {
+		var c [2]float64
+		if centers != nil {
+			c = centers[i]
+		}
+		fmt.Fprintf(bw, "%.17g %.17g %.17g %.17g %.17g\n", o.Theta, o.Phi, o.Omega, c[0], c[1])
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadOrientationList reads a file written by WriteOrientationList.
+func ReadOrientationList(path string) ([]geom.Euler, [][2]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var orients []geom.Euler
+	var centers [][2]float64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		var o geom.Euler
+		var c [2]float64
+		if _, err := fmt.Sscanf(line, "%g %g %g %g %g",
+			&o.Theta, &o.Phi, &o.Omega, &c[0], &c[1]); err != nil {
+			return nil, nil, fmt.Errorf("micrograph: parsing orientation line %q: %w", line, err)
+		}
+		orients = append(orients, o)
+		centers = append(centers, c)
+	}
+	return orients, centers, sc.Err()
+}
+
+func readOrientations(path string, views []*View, pixelA float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	i := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		if i >= len(views) {
+			return fmt.Errorf("micrograph: more orientation lines than views")
+		}
+		v := views[i]
+		var defocus float64
+		if _, err := fmt.Sscanf(line, "%g %g %g %g %g %d %g",
+			&v.TrueOrient.Theta, &v.TrueOrient.Phi, &v.TrueOrient.Omega,
+			&v.TrueCenter[0], &v.TrueCenter[1], &v.Group, &defocus); err != nil {
+			return fmt.Errorf("micrograph: parsing orientation line %q: %w", line, err)
+		}
+		v.CTF = ctf.Typical(pixelA)
+		v.CTF.DefocusA = defocus
+		i++
+	}
+	if i != len(views) {
+		return fmt.Errorf("micrograph: %d orientation lines for %d views", i, len(views))
+	}
+	return sc.Err()
+}

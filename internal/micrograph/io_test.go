@@ -1,0 +1,72 @@
+package micrograph
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/phantom"
+)
+
+func TestDatasetSaveLoadRoundTrip(t *testing.T) {
+	truth := phantom.Asymmetric(16, 4, 1)
+	ds := Generate(truth, GenParams{NumViews: 5, PixelA: 2.5, CenterJitter: 1, ApplyCTF: true, DefocusGroups: 2, Seed: 1})
+	dir := t.TempDir()
+	if err := ds.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.L != ds.L || got.PixelA != ds.PixelA || got.HasCTF != ds.HasCTF {
+		t.Fatalf("meta mismatch: %+v", got)
+	}
+	if len(got.Views) != len(ds.Views) {
+		t.Fatalf("view count %d, want %d", len(got.Views), len(ds.Views))
+	}
+	for i := range ds.Views {
+		a, b := ds.Views[i], got.Views[i]
+		for j := range a.Image.Data {
+			if a.Image.Data[j] != b.Image.Data[j] {
+				t.Fatalf("view %d pixel %d mismatch", i, j)
+			}
+		}
+		if geom.AngularDistance(a.TrueOrient, b.TrueOrient) > 1e-6 {
+			t.Fatalf("view %d orientation mismatch", i)
+		}
+		if a.TrueCenter != b.TrueCenter || a.Group != b.Group {
+			t.Fatalf("view %d metadata mismatch", i)
+		}
+		if a.CTF.DefocusA != b.CTF.DefocusA {
+			t.Fatalf("view %d defocus mismatch", i)
+		}
+	}
+	for i := range ds.Truth.Data {
+		if ds.Truth.Data[i] != got.Truth.Data[i] {
+			t.Fatal("truth map mismatch")
+		}
+	}
+}
+
+func TestOrientationListRoundTrip(t *testing.T) {
+	orients := []geom.Euler{{Theta: 10, Phi: 20, Omega: 30}, {Theta: 1.5, Phi: 359, Omega: 0.25}}
+	centers := [][2]float64{{0.5, -1.25}, {0, 0}}
+	path := filepath.Join(t.TempDir(), "orients.txt")
+	if err := WriteOrientationList(path, orients, centers); err != nil {
+		t.Fatal(err)
+	}
+	gotO, gotC, err := ReadOrientationList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotO) != 2 || gotO[1] != orients[1] || gotC[0] != centers[0] {
+		t.Fatalf("round-trip mismatch: %v %v", gotO, gotC)
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing dataset accepted")
+	}
+}

@@ -1,0 +1,172 @@
+package micrograph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/fft"
+	"repro/internal/volume"
+)
+
+// Pick is one detected particle.
+type Pick struct {
+	// X, Y is the detected particle centre in field coordinates.
+	X, Y float64
+	// Score is the normalized template correlation at the peak.
+	Score float64
+}
+
+// PickParticles locates spherical particles in a micrograph field by
+// matched filtering — the automated particle identification of the
+// paper's ref. [22] ("Identification of spherical particles in
+// digitized images of entire micrographs"). A soft disk template of
+// the given diameter is cross-correlated with the locally normalized
+// field via FFT; peaks above threshold, separated by at least minDist
+// pixels (greedy non-maximum suppression), become picks. Coordinates
+// are refined to sub-pixel precision by parabolic interpolation.
+//
+// threshold is in normalized correlation units (0..1); 0.3–0.5 works
+// for the synthetic micrographs of this package. minDist ≤ 0 defaults
+// to the particle diameter.
+func PickParticles(field *volume.Image, diameter float64, threshold, minDist float64) ([]Pick, error) {
+	if diameter < 2 || diameter > float64(field.L) {
+		return nil, fmt.Errorf("micrograph: implausible particle diameter %g for a %d-px field", diameter, field.L)
+	}
+	if minDist <= 0 {
+		minDist = diameter
+	}
+	l := field.L
+
+	// Zero-mean field (the template is matched against contrast, not
+	// baseline).
+	_, _, mean, std := field.Stats()
+	if std == 0 {
+		return nil, nil
+	}
+	f := volume.NewCImage(l)
+	for i, v := range field.Data {
+		f.Data[i] = complex((v-mean)/std, 0)
+	}
+
+	// Soft disk template, zero-mean so flat regions score zero.
+	tmpl := volume.NewCImage(l)
+	r := diameter / 2
+	var tsum float64
+	var tn int
+	for j := 0; j < l; j++ {
+		for k := 0; k < l; k++ {
+			// Template centred at the origin with wraparound, so the
+			// correlation peak lands at the particle centre.
+			dj := float64(fft.FreqIndex(j, l))
+			dk := float64(fft.FreqIndex(k, l))
+			d := math.Hypot(dj, dk)
+			v := 0.0
+			if d < r {
+				v = 1
+			} else if d < r+2 {
+				v = (r + 2 - d) / 2 // soft edge
+			}
+			tmpl.Data[j*l+k] = complex(v, 0)
+			tsum += v
+			if v > 0 {
+				tn++
+			}
+		}
+	}
+	if tn == 0 {
+		return nil, nil
+	}
+	tmean := tsum / float64(l*l)
+	var tenergy float64
+	for i := range tmpl.Data {
+		v := real(tmpl.Data[i]) - tmean
+		tmpl.Data[i] = complex(v, 0)
+		tenergy += v * v
+	}
+
+	// FFT cross-correlation: corr = IFFT(F · conj(T)).
+	plan := fft.NewPlan2D(l, l)
+	plan.Forward(f.Data)
+	plan.Forward(tmpl.Data)
+	for i := range f.Data {
+		t := tmpl.Data[i]
+		f.Data[i] *= complex(real(t), -imag(t))
+	}
+	plan.Inverse(f.Data)
+	norm := 1 / (math.Sqrt(tenergy) * math.Sqrt(float64(tn)))
+
+	// Collect local maxima above threshold.
+	at := func(j, k int) float64 {
+		return real(f.Data[((j+l)%l)*l+(k+l)%l]) * norm
+	}
+	var cands []Pick
+	for j := 0; j < l; j++ {
+		for k := 0; k < l; k++ {
+			v := at(j, k)
+			if v < threshold {
+				continue
+			}
+			if v < at(j-1, k) || v < at(j+1, k) || v < at(j, k-1) || v < at(j, k+1) {
+				continue
+			}
+			// Sub-pixel refinement.
+			oj := vertex(at(j-1, k), v, at(j+1, k))
+			ok := vertex(at(j, k-1), v, at(j, k+1))
+			cands = append(cands, Pick{X: float64(j) + oj, Y: float64(k) + ok, Score: v})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].Score > cands[b].Score })
+
+	// Greedy non-maximum suppression.
+	var picks []Pick
+	min2 := minDist * minDist
+	for _, c := range cands {
+		keep := true
+		for _, p := range picks {
+			dx, dy := c.X-p.X, c.Y-p.Y
+			if dx*dx+dy*dy < min2 {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			picks = append(picks, c)
+		}
+	}
+	return picks, nil
+}
+
+// vertex is the parabolic sub-sample peak offset in [−0.5, 0.5].
+func vertex(ym, y0, yp float64) float64 {
+	den := ym - 2*y0 + yp
+	if den >= 0 {
+		return 0
+	}
+	off := 0.5 * (ym - yp) / den
+	return math.Max(-0.5, math.Min(0.5, off))
+}
+
+// MatchPicks greedily pairs detected picks with true particle centres
+// within tol pixels and reports recall (found true particles /
+// total true particles) and precision (matched picks / total picks).
+func MatchPicks(picks []Pick, actual [][2]float64, tol float64) (recall, precision float64) {
+	if len(actual) == 0 || len(picks) == 0 {
+		return 0, 0
+	}
+	used := make([]bool, len(actual))
+	matched := 0
+	for _, p := range picks {
+		for i, a := range actual {
+			if used[i] {
+				continue
+			}
+			if math.Hypot(p.X-a[0], p.Y-a[1]) <= tol {
+				used[i] = true
+				matched++
+				break
+			}
+		}
+	}
+	return float64(matched) / float64(len(actual)), float64(matched) / float64(len(picks))
+}

@@ -1,0 +1,107 @@
+package micrograph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/phantom"
+	"repro/internal/volume"
+)
+
+func pickingField(t *testing.T, nViews int, snr float64) (*Micrograph, float64) {
+	t.Helper()
+	truth := phantom.SindbisLike(24)
+	ds := Generate(truth, GenParams{NumViews: nViews, PixelA: 2.5, SNR: snr, Seed: 51})
+	mg := MakeMicrograph(ds, 3, 3, 2.0, 52)
+	// The particle's visible diameter: the capsid shell spans ~0.8·l.
+	return mg, 0.8 * 24
+}
+
+func TestPickParticlesCleanField(t *testing.T) {
+	mg, diam := pickingField(t, 9, 0)
+	picks, err := PickParticles(mg.Field, diam, 0.3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recall, precision := MatchPicks(picks, mg.Actual, 4)
+	if recall < 0.99 {
+		t.Fatalf("recall %.2f on a clean field (found %d of %d)", recall, len(picks), len(mg.Actual))
+	}
+	if precision < 0.99 {
+		t.Fatalf("precision %.2f on a clean field (%d picks)", precision, len(picks))
+	}
+	// Positions must be accurate to a couple of pixels.
+	var worst float64
+	for _, a := range mg.Actual {
+		best := math.Inf(1)
+		for _, p := range picks {
+			if d := math.Hypot(p.X-a[0], p.Y-a[1]); d < best {
+				best = d
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	if worst > 2.5 {
+		t.Fatalf("worst pick position error %.2f px", worst)
+	}
+}
+
+func TestPickParticlesNoisyField(t *testing.T) {
+	mg, diam := pickingField(t, 9, 1.0)
+	picks, err := PickParticles(mg.Field, diam, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recall, _ := MatchPicks(picks, mg.Actual, 5)
+	if recall < 0.8 {
+		t.Fatalf("recall %.2f on a noisy field", recall)
+	}
+}
+
+func TestPickParticlesEmptyField(t *testing.T) {
+	field := volume.NewImage(96)
+	picks, err := PickParticles(field, 20, 0.3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != 0 {
+		t.Fatalf("flat field produced %d picks", len(picks))
+	}
+}
+
+func TestPickParticlesSuppression(t *testing.T) {
+	mg, diam := pickingField(t, 9, 0)
+	picks, err := PickParticles(mg.Field, diam, 0.15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No two surviving picks may be closer than the particle diameter.
+	for i := range picks {
+		for j := i + 1; j < len(picks); j++ {
+			if d := math.Hypot(picks[i].X-picks[j].X, picks[i].Y-picks[j].Y); d < diam {
+				t.Fatalf("picks %d and %d only %.1f px apart", i, j, d)
+			}
+		}
+	}
+}
+
+func TestPickParticlesValidation(t *testing.T) {
+	field := volume.NewImage(32)
+	if _, err := PickParticles(field, 1, 0.3, 0); err == nil {
+		t.Fatal("tiny diameter accepted")
+	}
+	if _, err := PickParticles(field, 64, 0.3, 0); err == nil {
+		t.Fatal("oversized diameter accepted")
+	}
+}
+
+func TestMatchPicksDegenerate(t *testing.T) {
+	if r, p := MatchPicks(nil, [][2]float64{{1, 1}}, 2); r != 0 || p != 0 {
+		t.Fatal("empty picks should score zero")
+	}
+	if r, p := MatchPicks([]Pick{{X: 1, Y: 1}}, nil, 2); r != 0 || p != 0 {
+		t.Fatal("empty actual should score zero")
+	}
+}

@@ -1,0 +1,115 @@
+package parfft
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/fourier"
+	"repro/internal/volume"
+)
+
+func testModel() cluster.CostModel {
+	return cluster.CostModel{LatencySec: 1e-5, BytesPerSec: 1e8, FlopsPerSec: 1e8}
+}
+
+func randomGrid(l int, seed int64) *volume.Grid {
+	r := rand.New(rand.NewSource(seed))
+	g := volume.NewGrid(l)
+	for i := range g.Data {
+		g.Data[i] = r.NormFloat64()
+	}
+	return g
+}
+
+func TestPartition(t *testing.T) {
+	zs := Partition(10, 4)
+	if zs[0] != 0 || zs[4] != 10 {
+		t.Fatalf("partition endpoints wrong: %v", zs)
+	}
+	for i := 0; i < 4; i++ {
+		n := zs[i+1] - zs[i]
+		if n < 2 || n > 3 {
+			t.Fatalf("uneven partition: %v", zs)
+		}
+	}
+	// More parts than items: all sizes 0 or 1.
+	zs = Partition(3, 5)
+	for i := 0; i < 5; i++ {
+		if n := zs[i+1] - zs[i]; n < 0 || n > 1 {
+			t.Fatalf("partition %v has bad part size", zs)
+		}
+	}
+}
+
+func TestTransform3DMatchesSerial(t *testing.T) {
+	for _, tc := range []struct{ l, p int }{
+		{8, 1}, {8, 2}, {8, 3}, {8, 4}, {12, 5}, {16, 4}, {6, 8},
+	} {
+		g := randomGrid(tc.l, int64(tc.l*100+tc.p))
+		want := fourier.NewVolumeDFT(g)
+		c := cluster.New(tc.p, testModel())
+		res := Transform3D(c, g, 0)
+		if res.DFT.L != tc.l {
+			t.Fatalf("l=%d p=%d: result size %d", tc.l, tc.p, res.DFT.L)
+		}
+		for i := range want.Data {
+			if cmplx.Abs(res.DFT.Data[i]-want.Data[i]) > 1e-9 {
+				t.Fatalf("l=%d p=%d: coefficient %d differs: %v vs %v",
+					tc.l, tc.p, i, res.DFT.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestTransform3DElapsedPositive(t *testing.T) {
+	g := randomGrid(8, 1)
+	c := cluster.New(4, testModel())
+	res := Transform3D(c, g, 0.5)
+	if res.Elapsed <= 0.5 {
+		t.Fatalf("elapsed %g must exceed the modeled read time", res.Elapsed)
+	}
+	if len(res.Stats) != 4 {
+		t.Fatalf("stats for %d ranks, want 4", len(res.Stats))
+	}
+	// Every node must have communicated (scatter + exchange + gather).
+	for _, s := range res.Stats {
+		if s.CommTime <= 0 {
+			t.Errorf("rank %d has zero comm time", s.Rank)
+		}
+	}
+}
+
+func TestModelTimeScaling(t *testing.T) {
+	m := cluster.SP2
+	// Compute-dominated sizes: more nodes must reduce modeled time.
+	t1 := ModelTime(m, 128, 1, 0)
+	t4 := ModelTime(m, 128, 4, 0)
+	t16 := ModelTime(m, 128, 16, 0)
+	if !(t1 > t4 && t4 > t16) {
+		t.Fatalf("model time not decreasing with nodes: %g %g %g", t1, t4, t16)
+	}
+	// Larger maps must cost more.
+	if ModelTime(m, 64, 4, 0) >= ModelTime(m, 128, 4, 0) {
+		t.Fatal("model time not increasing with map size")
+	}
+	// Read time passes straight through.
+	if d := ModelTime(m, 64, 4, 10) - ModelTime(m, 64, 4, 0); d < 10-1e-9 {
+		t.Fatalf("read time not accounted: delta %g", d)
+	}
+}
+
+func TestTransform3DDeterministic(t *testing.T) {
+	g := randomGrid(8, 42)
+	a := Transform3D(cluster.New(3, testModel()), g, 0)
+	b := Transform3D(cluster.New(3, testModel()), g, 0)
+	for i := range a.DFT.Data {
+		if a.DFT.Data[i] != b.DFT.Data[i] {
+			t.Fatal("transform not deterministic")
+		}
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("simulated time not deterministic: %g vs %g", a.Elapsed, b.Elapsed)
+	}
+}

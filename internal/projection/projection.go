@@ -1,0 +1,58 @@
+// Package projection computes 2-D projections of a 3-D electron
+// density, in two independent ways:
+//
+//   - Real: direct line integration through the density grid along the
+//     view axis, sampling by trilinear interpolation. This is how the
+//     synthetic "experimental" views of the test datasets are made.
+//   - Fourier: extraction of a central section of the 3-D DFT followed
+//     by an inverse 2-D DFT, per the projection-slice theorem. This is
+//     the representation the refinement algorithm matches against.
+//
+// The two paths agreeing (up to interpolation error) is the central
+// correctness property of the whole pipeline and is enforced by the
+// package tests.
+package projection
+
+import (
+	"repro/internal/fourier"
+	"repro/internal/geom"
+	"repro/internal/volume"
+)
+
+// Real projects the density g at orientation o by integrating along
+// the view axis. Pixel (j,k) of the result is the sum over t of the
+// density at center + (j−c)·x̂' + (k−c)·ŷ' + t·ẑ', with t spanning the
+// full box. Samples outside the grid contribute zero.
+func Real(g *volume.Grid, o geom.Euler) *volume.Image {
+	l := g.L
+	c := float64(l / 2)
+	m := o.Matrix()
+	xa, ya, za := m.Col(0), m.Col(1), m.Col(2)
+	out := volume.NewImage(l)
+	half := l / 2
+	for j := 0; j < l; j++ {
+		u := float64(j) - c
+		for k := 0; k < l; k++ {
+			v := float64(k) - c
+			// Base point of the ray in map coordinates.
+			base := geom.Vec3{X: c, Y: c, Z: c}.
+				Add(xa.Scale(u)).
+				Add(ya.Scale(v))
+			var sum float64
+			for t := -half; t < l-half; t++ {
+				p := base.Add(za.Scale(float64(t)))
+				sum += g.Interp(p.X, p.Y, p.Z)
+			}
+			out.Set(j, k, sum)
+		}
+	}
+	return out
+}
+
+// Fourier projects the density at orientation o through its centred
+// 3-D DFT: extract the central section at o (band-limited to rmax) and
+// inverse-transform it. vdft must be the centred spectrum of the map.
+func Fourier(vdft *fourier.VolumeDFT, o geom.Euler, rmax float64, interp fourier.Interpolation) *volume.Image {
+	slice := vdft.ExtractSlice(o, rmax, interp)
+	return fourier.InverseImageDFT(slice)
+}

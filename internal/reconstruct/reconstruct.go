@@ -1,0 +1,275 @@
+// Package reconstruct implements 3-D reconstruction of an electron
+// density map from 2-D views with known orientations, by direct
+// Fourier inversion in Cartesian coordinates — the reconstruction
+// algorithm the paper's orientation refinement is used in conjunction
+// with (its refs [18], [20]: "parallel algorithms for 3D
+// reconstruction of asymmetric objects").
+//
+// Each view's centred 2-D DFT is a central section of the map's 3-D
+// DFT (the projection-slice theorem), so reconstruction scatters every
+// view coefficient back onto the 3-D Fourier lattice with trilinear
+// spreading weights, normalizes by the accumulated weights, enforces
+// Hermitian symmetry, and inverse-transforms.
+package reconstruct
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ctf"
+	"repro/internal/fft"
+	"repro/internal/fourier"
+	"repro/internal/geom"
+	"repro/internal/volume"
+)
+
+// Options configures a reconstruction.
+type Options struct {
+	// RMax is the Fourier radius (frequency-index units) up to which
+	// view coefficients are inserted; ≤0 means the Nyquist radius.
+	RMax float64
+	// WienerCTF enables per-view CTF weighting: coefficients are
+	// accumulated as Σ CTF·F / (Σ CTF² + ε), the standard multi-view
+	// Wiener inversion. Views must then be inserted with their CTF
+	// parameters.
+	WienerCTF bool
+	// WienerEpsilon regularizes the CTF division; 0 selects 0.1.
+	WienerEpsilon float64
+}
+
+// Reconstructor accumulates views into a 3-D Fourier volume.
+type Reconstructor struct {
+	l    int
+	opt  Options
+	num  []complex128
+	den  []float64
+	plan *fft.Plan2D
+	n    int // views inserted
+}
+
+// New creates a reconstructor for l×l views and an l³ output map.
+func New(l int, opt Options) *Reconstructor {
+	if l < 2 {
+		panic(fmt.Sprintf("reconstruct: invalid size %d", l))
+	}
+	if opt.RMax <= 0 || opt.RMax > float64(l)/2 {
+		opt.RMax = float64(l) / 2
+	}
+	if opt.WienerEpsilon <= 0 {
+		opt.WienerEpsilon = 0.1
+	}
+	return &Reconstructor{
+		l:   l,
+		opt: opt,
+		num: make([]complex128, l*l*l),
+		den: make([]float64, l*l*l),
+	}
+}
+
+// Views returns how many views have been inserted.
+func (r *Reconstructor) Views() int { return r.n }
+
+// Insert adds one view at the given orientation. center is the centre
+// correction in pixels as produced by the refiner (the shift that
+// moves the particle origin onto the geometric image centre); it is
+// applied as a phase ramp before insertion. p supplies the view's CTF
+// parameters and is only consulted when Options.WienerCTF is set.
+func (r *Reconstructor) Insert(im *volume.Image, o geom.Euler, center [2]float64, p ctf.Params) error {
+	if im.L != r.l {
+		return fmt.Errorf("reconstruct: view size %d, want %d", im.L, r.l)
+	}
+	f := fourier.ImageDFT(im)
+	if center[0] != 0 || center[1] != 0 {
+		fourier.ShiftPhase(f, center[0], center[1])
+	}
+	rot := o.Matrix()
+	xa, ya := rot.Col(0), rot.Col(1)
+	l := r.l
+	ri := int(r.opt.RMax)
+	r2 := r.opt.RMax * r.opt.RMax
+	for h := -ri; h <= ri; h++ {
+		for k := -ri; k <= ri; k++ {
+			fh, fk := float64(h), float64(k)
+			if fh*fh+fk*fk > r2 {
+				continue
+			}
+			val := f.Data[wrap(h, l)*l+wrap(k, l)]
+			w := 1.0
+			if r.opt.WienerCTF {
+				s := p.FreqOfBin(h, k, l)
+				c := p.Eval(s)
+				// Accumulate CTF·F in the numerator and CTF² in the
+				// denominator.
+				val *= complex(c, 0)
+				w = c * c
+			}
+			pt := geom.Vec3{
+				X: xa.X*fh + ya.X*fk,
+				Y: xa.Y*fh + ya.Y*fk,
+				Z: xa.Z*fh + ya.Z*fk,
+			}
+			r.spread(pt, val, w)
+		}
+	}
+	r.n++
+	return nil
+}
+
+// spread distributes val with overall weight w onto the 8 lattice
+// neighbours of the continuous frequency point pt.
+func (r *Reconstructor) spread(pt geom.Vec3, val complex128, w float64) {
+	l := r.l
+	ny := float64(l) / 2
+	if pt.X < -ny || pt.X > ny || pt.Y < -ny || pt.Y > ny || pt.Z < -ny || pt.Z > ny {
+		return
+	}
+	x0, y0, z0 := int(math.Floor(pt.X)), int(math.Floor(pt.Y)), int(math.Floor(pt.Z))
+	fx, fy, fz := pt.X-float64(x0), pt.Y-float64(y0), pt.Z-float64(z0)
+	for dx := 0; dx <= 1; dx++ {
+		wx := 1 - fx
+		if dx == 1 {
+			wx = fx
+		}
+		if wx == 0 {
+			continue
+		}
+		xi := wrap(x0+dx, l)
+		for dy := 0; dy <= 1; dy++ {
+			wy := 1 - fy
+			if dy == 1 {
+				wy = fy
+			}
+			if wy == 0 {
+				continue
+			}
+			yi := wrap(y0+dy, l)
+			for dz := 0; dz <= 1; dz++ {
+				wz := 1 - fz
+				if dz == 1 {
+					wz = fz
+				}
+				if wz == 0 {
+					continue
+				}
+				zi := wrap(z0+dz, l)
+				ww := wx * wy * wz * w
+				idx := (xi*l+yi)*l + zi
+				r.num[idx] += val * complex(wx*wy*wz, 0)
+				if r.opt.WienerCTF {
+					r.den[idx] += ww
+				} else {
+					r.den[idx] += wx * wy * wz
+				}
+			}
+		}
+	}
+}
+
+func wrap(f, l int) int {
+	f %= l
+	if f < 0 {
+		f += l
+	}
+	return f
+}
+
+// Finish normalizes the accumulated Fourier volume, enforces Hermitian
+// symmetry, and inverse-transforms to a real-space density map. The
+// reconstructor may continue accumulating views afterwards (Finish
+// does not mutate the accumulation state).
+func (r *Reconstructor) Finish() *volume.Grid {
+	l := r.l
+	eps := r.opt.WienerEpsilon
+	spec := volume.NewCGrid(l)
+	for i := range r.num {
+		if r.opt.WienerCTF {
+			spec.Data[i] = r.num[i] * complex(1/(r.den[i]+eps), 0)
+		} else if r.den[i] > 1e-9 {
+			spec.Data[i] = r.num[i] * complex(1/r.den[i], 0)
+		}
+	}
+	spec.Hermitianize()
+	vd := &fourier.VolumeDFT{L: l, SrcL: l, Data: spec.Data}
+	return vd.Grid()
+}
+
+// FromViews reconstructs a map from views with per-view orientations
+// and centre corrections in one call. ctfs may be nil when
+// Options.WienerCTF is off.
+func FromViews(views []*volume.Image, orients []geom.Euler, centers [][2]float64, ctfs []ctf.Params, opt Options) (*volume.Grid, error) {
+	if len(views) == 0 {
+		return nil, fmt.Errorf("reconstruct: no views")
+	}
+	if len(orients) != len(views) {
+		return nil, fmt.Errorf("reconstruct: %d views but %d orientations", len(views), len(orients))
+	}
+	if centers != nil && len(centers) != len(views) {
+		return nil, fmt.Errorf("reconstruct: %d views but %d centres", len(views), len(centers))
+	}
+	if opt.WienerCTF && len(ctfs) != len(views) {
+		return nil, fmt.Errorf("reconstruct: WienerCTF needs per-view CTF params")
+	}
+	rec := New(views[0].L, opt)
+	for i, im := range views {
+		var c [2]float64
+		if centers != nil {
+			c = centers[i]
+		}
+		var p ctf.Params
+		if ctfs != nil {
+			p = ctfs[i]
+		}
+		if err := rec.Insert(im, orients[i], c, p); err != nil {
+			return nil, err
+		}
+	}
+	return rec.Finish(), nil
+}
+
+// SplitHalves reconstructs two independent maps from the odd- and
+// even-numbered views (1-based, matching the paper's Fig. 4 procedure:
+// "one using only odd numbered experimental views and the other, even
+// numbered views"). The returned maps are (odd, even).
+func SplitHalves(views []*volume.Image, orients []geom.Euler, centers [][2]float64, ctfs []ctf.Params, opt Options) (*volume.Grid, *volume.Grid, error) {
+	var oddV, evenV []*volume.Image
+	var oddO, evenO []geom.Euler
+	var oddC, evenC [][2]float64
+	var oddP, evenP []ctf.Params
+	for i := range views {
+		c := [2]float64{}
+		if centers != nil {
+			c = centers[i]
+		}
+		var p ctf.Params
+		if ctfs != nil {
+			p = ctfs[i]
+		}
+		if i%2 == 0 { // view 1, 3, 5... in 1-based numbering
+			oddV = append(oddV, views[i])
+			oddO = append(oddO, orients[i])
+			oddC = append(oddC, c)
+			oddP = append(oddP, p)
+		} else {
+			evenV = append(evenV, views[i])
+			evenO = append(evenO, orients[i])
+			evenC = append(evenC, c)
+			evenP = append(evenP, p)
+		}
+	}
+	if len(oddV) == 0 || len(evenV) == 0 {
+		return nil, nil, fmt.Errorf("reconstruct: need at least 2 views to split")
+	}
+	var op, ep []ctf.Params
+	if ctfs != nil {
+		op, ep = oddP, evenP
+	}
+	odd, err := FromViews(oddV, oddO, oddC, op, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	even, err := FromViews(evenV, evenO, evenC, ep, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return odd, even, nil
+}

@@ -1,0 +1,27 @@
+package volume
+
+// Rotate resamples the grid under the rotation m about the grid
+// centre: out(x) = in(mᵀ·(x−c) + c), i.e. the returned map is the
+// input rotated by m. m is a row-major rotation matrix (pass a
+// geom.Mat3 by plain conversion). Trilinear sampling; voxels mapping
+// outside the input are zero.
+func (g *Grid) Rotate(m [3][3]float64) *Grid {
+	l := g.L
+	c := float64(l / 2)
+	out := NewGrid(l)
+	// Inverse rotation = transpose.
+	for x := 0; x < l; x++ {
+		dx := float64(x) - c
+		for y := 0; y < l; y++ {
+			dy := float64(y) - c
+			for z := 0; z < l; z++ {
+				dz := float64(z) - c
+				sx := m[0][0]*dx + m[1][0]*dy + m[2][0]*dz + c
+				sy := m[0][1]*dx + m[1][1]*dy + m[2][1]*dz + c
+				sz := m[0][2]*dx + m[1][2]*dy + m[2][2]*dz + c
+				out.Set(x, y, z, g.Interp(sx, sy, sz))
+			}
+		}
+	}
+	return out
+}

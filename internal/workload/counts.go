@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// ViewCountRow is one row of the Fig. 1b / §3 search-space comparison:
+// how many calculated views an orientation search must consider at a
+// given angular resolution, with and without icosahedral symmetry.
+type ViewCountRow struct {
+	// StepDeg is the angular sampling of the view sphere.
+	StepDeg float64
+	// FullSphere is the number of (θ, φ) view directions on the whole
+	// sphere at that sampling (counted on the actual grid when
+	// feasible, else the 41253°²/step² area estimate).
+	FullSphere int
+	// IcosAsymUnit is the number of those directions inside the
+	// icosahedral asymmetric unit.
+	IcosAsymUnit int
+	// Measured reports whether the two counts were enumerated on a
+	// real grid (true) or area-estimated (false, for very fine steps
+	// where the grid would have billions of points).
+	Measured bool
+	// AsymSearchSpace is |P| for an asymmetric particle over the full
+	// (θ, φ, ω) ∈ [0, 180]³ domain at this resolution (§3's formula) —
+	// the six-orders-of-magnitude blow-up the paper highlights.
+	AsymSearchSpace float64
+}
+
+// sphereAreaDeg2 is the area of the unit sphere in square degrees.
+const sphereAreaDeg2 = 4 * math.Pi * (180 / math.Pi) * (180 / math.Pi)
+
+// ViewCounts evaluates the Fig. 1b comparison at the given samplings.
+// Steps ≥ 1° are enumerated exactly on the sphere grid; finer steps
+// use the area estimate (the 0.1° grid alone has ~4·10⁶ directions,
+// and the paper's numbers at 0.1° are estimates too).
+func ViewCounts(steps []float64) []ViewCountRow {
+	ico := geom.Icosahedral()
+	rows := make([]ViewCountRow, 0, len(steps))
+	for _, step := range steps {
+		row := ViewCountRow{StepDeg: step}
+		if step >= 1 {
+			row.FullSphere = len(geom.SphereGrid(step))
+			row.IcosAsymUnit = geom.AsymmetricUnitViews(ico, step)
+			row.Measured = true
+		} else {
+			full := sphereAreaDeg2 / (step * step)
+			row.FullSphere = int(full)
+			row.IcosAsymUnit = int(full / float64(ico.Order()))
+		}
+		row.AsymSearchSpace = geom.SearchSpaceSize(
+			geom.Euler{}, geom.Euler{Theta: 180, Phi: 180, Omega: 180}, step)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// OpCountReport quantifies §4's multi-resolution saving for one Euler
+// axis and for the full three-axis search.
+type OpCountReport struct {
+	// DomainDeg is the width of the search domain per axis (the
+	// paper's example: initial θ = 65°, domain 60–70°, so 10°).
+	DomainDeg float64
+	// FinalResDeg is the target angular resolution (0.002°).
+	FinalResDeg float64
+	// FlatPerAxis is the single-step search's matchings per axis:
+	// domain/resolution (the paper's "5000").
+	FlatPerAxis int
+	// MultiPerAxis is the multi-resolution ladder's matchings per
+	// axis: the first level spans the domain at its step, and each
+	// subsequent level spans ±1 step of its predecessor.
+	MultiPerAxis int
+	// PerAxisLevels breaks MultiPerAxis down by level.
+	PerAxisLevels []int
+	// FlatTotal and MultiTotal cube the per-axis counts for the full
+	// (θ, φ, ω) search of one view.
+	FlatTotal, MultiTotal float64
+	// SavingFactor is FlatTotal/MultiTotal — "almost four orders of
+	// magnitude" in the paper's arithmetic, more in ours because we
+	// count all three axes.
+	SavingFactor float64
+}
+
+// OpCount evaluates the §4 operation-count comparison for a search
+// domain of the given width refined down the given schedule.
+func OpCount(domainDeg float64, schedule []core.Level) OpCountReport {
+	if len(schedule) == 0 {
+		schedule = core.DefaultSchedule()
+	}
+	rep := OpCountReport{
+		DomainDeg:   domainDeg,
+		FinalResDeg: schedule[len(schedule)-1].RAngular,
+	}
+	rep.FlatPerAxis = int(math.Round(domainDeg/rep.FinalResDeg)) + 1
+	prevStep := domainDeg
+	for _, lv := range schedule {
+		var n int
+		if prevStep >= domainDeg {
+			// First level spans the whole domain.
+			n = int(math.Round(domainDeg/lv.RAngular)) + 1
+		} else {
+			// Later levels only resolve ±1 step of the previous level.
+			n = 2*int(math.Round(prevStep/lv.RAngular)) + 1
+		}
+		rep.PerAxisLevels = append(rep.PerAxisLevels, n)
+		rep.MultiPerAxis += n
+		prevStep = lv.RAngular
+	}
+	cube := func(n int) float64 { f := float64(n); return f * f * f }
+	rep.FlatTotal = cube(rep.FlatPerAxis)
+	rep.MultiTotal = 0
+	for _, n := range rep.PerAxisLevels {
+		rep.MultiTotal += cube(n)
+	}
+	rep.SavingFactor = rep.FlatTotal / rep.MultiTotal
+	return rep
+}

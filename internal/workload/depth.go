@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/fourier"
+	"repro/internal/fsc"
+	"repro/internal/geom"
+	"repro/internal/reconstruct"
+)
+
+// DepthRow is the outcome of refining with the schedule truncated at
+// one depth.
+type DepthRow struct {
+	// Levels is the schedule depth (1 = 1° only ... 4 = down to 0.002°).
+	Levels int
+	// FinestDeg is the finest angular resolution refined to.
+	FinestDeg float64
+	// MeanAngErr and MeanCenErr are ground-truth errors.
+	MeanAngErr, MeanCenErr float64
+	// ResolutionA is the odd/even FSC 0.5 crossing.
+	ResolutionA float64
+	// MatchingsPerView is the measured matching cost.
+	MatchingsPerView float64
+}
+
+// DepthStudy answers the question the paper closes §5 with: "How fine
+// the angular resolution should be used ... does it make any sense to
+// refine the angles beyond 0.01°?" It refines the same dataset with
+// the schedule truncated at every depth and reports accuracy and cost
+// per depth; where the error plateaus, deeper refinement buys nothing.
+// Refinement runs against the ground-truth map so the answer isolates
+// the schedule from reference quality.
+func DepthStudy(spec DatasetSpec) ([]DepthRow, error) {
+	ds := spec.Build()
+	dft := fourier.NewVolumeDFTPadded(ds.Truth, 2)
+	inits := ds.PerturbedOrientations(spec.InitError, spec.Seed+3)
+	full := core.DefaultSchedule()
+
+	var rows []DepthRow
+	for depth := 1; depth <= len(full); depth++ {
+		cfg := core.DefaultConfig(spec.L)
+		cfg.Schedule = full[:depth]
+		r, err := core.NewRefiner(dft, cfg)
+		if err != nil {
+			return nil, err
+		}
+		orients := make([]geom.Euler, len(ds.Views))
+		centers := make([][2]float64, len(ds.Views))
+		var angSum, cenSum, matchSum float64
+		for i, v := range ds.Views {
+			pv, err := r.PrepareView(v.Image, v.CTF)
+			if err != nil {
+				return nil, err
+			}
+			res := r.RefineView(pv, inits[i])
+			orients[i] = res.Orient
+			centers[i] = res.Center
+			angSum += geom.AngularDistance(res.Orient, v.TrueOrient)
+			cenSum += math.Hypot(res.Center[0]+v.TrueCenter[0], res.Center[1]+v.TrueCenter[1])
+			matchSum += float64(res.TotalMatchings())
+		}
+		odd, even, err := reconstruct.SplitHalves(ds.Images(), orients, centers, nil, reconstruct.Options{})
+		if err != nil {
+			return nil, err
+		}
+		curve, err := fsc.Compute(odd, even, spec.PixelA)
+		if err != nil {
+			return nil, err
+		}
+		n := float64(len(ds.Views))
+		rows = append(rows, DepthRow{
+			Levels:           depth,
+			FinestDeg:        full[depth-1].RAngular,
+			MeanAngErr:       angSum / n,
+			MeanCenErr:       cenSum / n,
+			ResolutionA:      curve.ResolutionAt(0.5),
+			MatchingsPerView: matchSum / n,
+		})
+	}
+	return rows, nil
+}
+
+// WriteDepthStudy renders the §5-question table.
+func WriteDepthStudy(w io.Writer, spec DatasetSpec, rows []DepthRow) {
+	fmt.Fprintf(w, "§5 question — schedule depth study, %s (refined against ground truth)\n", spec.Name)
+	fmt.Fprintf(w, "%8s %12s %12s %14s %12s %16s\n",
+		"levels", "finest (°)", "ang err (°)", "cen err (px)", "res (Å)", "matchings/view")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %12.4g %12.3f %14.3f %12.2f %16.0f\n",
+			r.Levels, r.FinestDeg, r.MeanAngErr, r.MeanCenErr, r.ResolutionA, r.MatchingsPerView)
+	}
+}

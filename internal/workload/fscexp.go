@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ctf"
+	"repro/internal/fourier"
+	"repro/internal/fsc"
+	"repro/internal/geom"
+	"repro/internal/micrograph"
+	"repro/internal/reconstruct"
+	"repro/internal/volume"
+)
+
+// FSCOptions tunes the Figs. 4–6 experiment.
+type FSCOptions struct {
+	// Cycles is the number of refine→reconstruct iterations (steps B
+	// and C of the structure-determination procedure). The paper runs
+	// "hundreds"; two cycles already separate the methods cleanly.
+	Cycles int
+	// Workers bounds refinement concurrency; ≤0 uses GOMAXPROCS.
+	Workers int
+	// OldFloorAngular / OldFloorCenter set the legacy method's
+	// accuracy floor (see baseline.OldConfig). Zeros select 1° and
+	// 1 px — the accuracy regime of symmetry-exploiting programs in
+	// routine use before sub-degree refinement.
+	OldFloorAngular, OldFloorCenter float64
+	// Pad is the spectrum oversampling for matching; 0 selects 2.
+	Pad int
+	// RMapFracPerCycle optionally ladders the matching resolution
+	// across cycles, per the paper's outer loop ("then we increase
+	// the resolution and repeat the entire procedure"): cycle i
+	// matches only up to RMapFracPerCycle[i]·(0.8·Nyquist). Cycles
+	// beyond the slice length use the full band; empty disables
+	// laddering.
+	RMapFracPerCycle []float64
+}
+
+func (o *FSCOptions) setDefaults() {
+	if o.Cycles <= 0 {
+		o.Cycles = 2
+	}
+	if o.OldFloorAngular <= 0 {
+		o.OldFloorAngular = 1.0
+	}
+	if o.OldFloorCenter <= 0 {
+		o.OldFloorCenter = 1.0
+	}
+	if o.Pad <= 0 {
+		o.Pad = 2
+	}
+}
+
+// MethodOutcome holds one method's end-to-end result on a dataset.
+type MethodOutcome struct {
+	// Orients and Centers are the final per-view solutions.
+	Orients []geom.Euler
+	Centers [][2]float64
+	// Map is the full reconstruction from all views.
+	Map *volume.Grid
+	// Curve is the odd/even half-map FSC (Fig. 4 procedure).
+	Curve *fsc.Curve
+	// ResolutionA is the curve's 0.5 crossing in Å.
+	ResolutionA float64
+	// TruthCC is the full map's correlation against the ground-truth
+	// phantom — a measure the paper could not compute.
+	TruthCC float64
+	// MeanAngErr and MeanCenErr are mean errors against ground truth.
+	MeanAngErr, MeanCenErr float64
+	// PerLevel aggregates refinement work (final cycle only).
+	PerLevel []LevelAgg
+}
+
+// LevelAgg aggregates per-level refinement statistics over all views.
+type LevelAgg struct {
+	RAngular       float64
+	MeanMatchings  float64
+	SlideViews     int // views whose window slid at least once
+	TotalSlides    int
+	MeanCenterEval float64
+}
+
+// FSCExperiment is the complete Figs. 2/3/5/6 result for one dataset:
+// the old and new methods side by side.
+type FSCExperiment struct {
+	Spec     DatasetSpec
+	Truth    *volume.Grid
+	Old, New MethodOutcome
+}
+
+// RunFSC executes the full comparison on a dataset: synthesize views,
+// hand both methods the same rough initial orientations, iterate
+// refine→reconstruct for the configured cycles, and assess both with
+// the odd/even FSC.
+func RunFSC(spec DatasetSpec, opt FSCOptions) (*FSCExperiment, error) {
+	opt.setDefaults()
+	ds := spec.Build()
+	inits := ds.PerturbedOrientations(spec.InitError, spec.Seed+1)
+
+	exp := &FSCExperiment{Spec: spec, Truth: ds.Truth}
+
+	oldOut, err := runMethod(ds, spec, inits, opt, legacySchedule(opt), false)
+	if err != nil {
+		return nil, fmt.Errorf("workload: old method: %w", err)
+	}
+	exp.Old = *oldOut
+	newOut, err := runMethod(ds, spec, inits, opt, core.DefaultSchedule(), true)
+	if err != nil {
+		return nil, fmt.Errorf("workload: new method: %w", err)
+	}
+	exp.New = *newOut
+	return exp, nil
+}
+
+// legacySchedule truncates the default schedule at the legacy floors,
+// mirroring baseline.OldRefine.
+func legacySchedule(opt FSCOptions) []core.Level {
+	var out []core.Level
+	for _, lv := range core.DefaultSchedule() {
+		if lv.RAngular < opt.OldFloorAngular {
+			break
+		}
+		if lv.CenterDelta < opt.OldFloorCenter {
+			lv.CenterDelta = opt.OldFloorCenter
+		}
+		out = append(out, lv)
+	}
+	if len(out) == 0 {
+		out = []core.Level{{RAngular: opt.OldFloorAngular, WindowHalf: 4 * opt.OldFloorAngular,
+			CenterDelta: opt.OldFloorCenter, CenterHalf: 1, RMapFrac: 0.4}}
+	}
+	return out
+}
+
+// runMethod iterates refine→reconstruct with the given schedule; the
+// legacy and new methods differ in how deep that schedule goes and in
+// whether centres are interpolated below the search grid.
+func runMethod(ds *micrograph.Dataset, spec DatasetSpec, inits []geom.Euler, opt FSCOptions, schedule []core.Level, parabolic bool) (*MethodOutcome, error) {
+	l := ds.L
+	orients := append([]geom.Euler(nil), inits...)
+	centers := make([][2]float64, len(ds.Views))
+	var perLevel []LevelAgg
+
+	var ctfs []ctf.Params
+	if ds.HasCTF {
+		for _, v := range ds.Views {
+			ctfs = append(ctfs, v.CTF)
+		}
+	}
+
+	for cycle := 0; cycle < opt.Cycles; cycle++ {
+		// Step C of the previous cycle: reconstruct the current map
+		// from the current orientations and centres.
+		ref, err := reconstruct.FromViews(ds.Images(), orients, centers, ctfs,
+			reconstruct.Options{WienerCTF: ds.HasCTF})
+		if err != nil {
+			return nil, err
+		}
+		ref.SphericalMask(0.45 * float64(l))
+		dft := fourier.NewVolumeDFTPadded(ref, opt.Pad)
+
+		cfg := core.DefaultConfig(l)
+		cfg.Schedule = schedule
+		cfg.ParabolicCenter = parabolic
+		if cycle < len(opt.RMapFracPerCycle) {
+			f := opt.RMapFracPerCycle[cycle]
+			if f > 0 && f <= 1 {
+				cfg.RMap *= f
+			}
+		}
+		if ds.HasCTF {
+			cfg.CorrectCTF = true
+			cfg.CTFMode = ctf.PhaseFlip
+			cfg.CTFWeightCuts = true
+		}
+		r, err := core.NewRefiner(dft, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Prepare views already corrected to the centres found so far:
+		// refinement then reports the *incremental* correction.
+		views := make([]*core.View, len(ds.Views))
+		for i, v := range ds.Views {
+			im := v.Image
+			if centers[i][0] != 0 || centers[i][1] != 0 {
+				f := fourier.ImageDFT(im)
+				fourier.ShiftPhase(f, centers[i][0], centers[i][1])
+				im = fourier.InverseImageDFT(f)
+			}
+			var p ctf.Params
+			if ctfs != nil {
+				p = ctfs[i]
+			}
+			pv, err := r.PrepareView(im, p)
+			if err != nil {
+				return nil, err
+			}
+			views[i] = pv
+		}
+		results, err := r.RefineAll(views, orients, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		perLevel = aggregate(schedule, results)
+		for i, res := range results {
+			orients[i] = res.Orient
+			centers[i][0] += res.Center[0]
+			centers[i][1] += res.Center[1]
+		}
+	}
+
+	out := &MethodOutcome{Orients: orients, Centers: centers, PerLevel: perLevel}
+
+	// Final full and half-map reconstructions.
+	full, err := reconstruct.FromViews(ds.Images(), orients, centers, ctfs,
+		reconstruct.Options{WienerCTF: ds.HasCTF})
+	if err != nil {
+		return nil, err
+	}
+	out.Map = full
+	odd, even, err := reconstruct.SplitHalves(ds.Images(), orients, centers, ctfs,
+		reconstruct.Options{WienerCTF: ds.HasCTF})
+	if err != nil {
+		return nil, err
+	}
+	curve, err := fsc.Compute(odd, even, spec.PixelA)
+	if err != nil {
+		return nil, err
+	}
+	out.Curve = curve
+	out.ResolutionA = curve.ResolutionAt(0.5)
+	out.TruthCC = volume.Correlation(ds.Truth, full)
+
+	// Ground-truth errors (available only because the data is
+	// synthetic).
+	var angSum, cenSum float64
+	for i, v := range ds.Views {
+		angSum += geom.AngularDistance(orients[i], v.TrueOrient)
+		dx := centers[i][0] + v.TrueCenter[0]
+		dy := centers[i][1] + v.TrueCenter[1]
+		cenSum += math.Hypot(dx, dy)
+	}
+	out.MeanAngErr = angSum / float64(len(ds.Views))
+	out.MeanCenErr = cenSum / float64(len(ds.Views))
+	return out, nil
+}
+
+func aggregate(schedule []core.Level, results []core.Result) []LevelAgg {
+	aggs := make([]LevelAgg, len(schedule))
+	for li := range schedule {
+		aggs[li].RAngular = schedule[li].RAngular
+	}
+	for _, res := range results {
+		for li, st := range res.PerLevel {
+			if li >= len(aggs) {
+				break
+			}
+			aggs[li].MeanMatchings += float64(st.Matchings)
+			aggs[li].MeanCenterEval += float64(st.CenterEvals)
+			if st.Slides > 0 {
+				aggs[li].SlideViews++
+			}
+			aggs[li].TotalSlides += st.Slides
+		}
+	}
+	n := float64(len(results))
+	if n > 0 {
+		for li := range aggs {
+			aggs[li].MeanMatchings /= n
+			aggs[li].MeanCenterEval /= n
+		}
+	}
+	return aggs
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"repro/internal/phantom"
+	"repro/internal/symmetry"
+	"repro/internal/volume"
+)
+
+// SymDetectCase is one symmetry-detection trial: a particle of known
+// symmetry, the group Detect reported, and the full score table.
+type SymDetectCase struct {
+	Name     string
+	Expected string
+	Detected string
+	Scores   []symmetry.Score
+}
+
+// Correct reports whether detection matched the expectation.
+func (c SymDetectCase) Correct() bool { return c.Detected == c.Expected }
+
+// RunSymmetryDetection exercises the §6 claim that the method "can be
+// used to determine the symmetry group of a symmetric particle": it
+// detects the point group of an icosahedral capsid, a C5 particle and
+// an asymmetric particle. l is the map size (32 is adequate; larger is
+// slower but sharper).
+func RunSymmetryDetection(l int) []SymDetectCase {
+	if l <= 0 {
+		l = 32
+	}
+	builds := []struct {
+		name, expected string
+		build          func() *volume.Grid
+	}{
+		{"sindbis-like capsid", "I", func() *volume.Grid { return phantom.SindbisLike(l) }},
+		{"reo-like capsid", "I", func() *volume.Grid { return phantom.ReoLike(l) }},
+		{"C5 particle", "C5", func() *volume.Grid { return phantom.CnSymmetric(l, 5, 7) }},
+		{"asymmetric particle", "C1", func() *volume.Grid { return phantom.Asymmetric(l, 12, 3) }},
+	}
+	out := make([]SymDetectCase, 0, len(builds))
+	for _, b := range builds {
+		g, scores := symmetry.Detect(b.build(), nil, 0.8)
+		out = append(out, SymDetectCase{
+			Name:     b.name,
+			Expected: b.expected,
+			Detected: g.Name,
+			Scores:   scores,
+		})
+	}
+	return out
+}
+
+// RunSymmetryDetectionOnMap detects the group of an arbitrary
+// reconstructed map — the production entry point used after refining
+// a particle of unknown symmetry.
+func RunSymmetryDetectionOnMap(m *volume.Grid, threshold float64) SymDetectCase {
+	g, scores := symmetry.Detect(m, nil, threshold)
+	return SymDetectCase{Name: "reconstructed map", Detected: g.Name, Scores: scores}
+}

@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fourier"
+	"repro/internal/parfft"
+)
+
+// TimingRow is one column of the paper's Tables 1 and 2: the simulated
+// time of each step of one orientation-refinement pass at one angular
+// resolution.
+type TimingRow struct {
+	// RAngular is the pass's angular resolution in degrees.
+	RAngular float64
+	// SearchRange is the window extent per axis in grid points.
+	SearchRange int
+	// MeanMatchings is the measured matchings per view (windows,
+	// slides and intra-level alternation included).
+	MeanMatchings float64
+	// SlideViews counts views whose window slid at least once.
+	SlideViews int
+	// Seconds of simulated time per step (the table rows).
+	DFT3D, ReadImages, FFTAnalysis, Refinement, Total float64
+	// RefinementShare is Refinement/Total — the paper's "99% of the
+	// time is spent matching".
+	RefinementShare float64
+}
+
+// TimingTable is the full Tables 1–2 reproduction for one dataset.
+type TimingTable struct {
+	Spec DatasetSpec
+	// P is the number of simulated processors (the paper used 16).
+	P int
+	// Rows hold the measured small-scale run: real refinement work
+	// counted by the simulator, priced by the SP2 cost model.
+	Rows []TimingRow
+	// PaperRows extrapolate the same pass analytically to the paper's
+	// dataset dimensions (PaperL, PaperViews).
+	PaperRows []TimingRow
+	// ReconSecs is the modeled paper-scale 3-D reconstruction time,
+	// for the §5 claim that reconstruction is <5% of a cycle.
+	ReconSecs float64
+}
+
+// TimingOptions configures the timing experiment.
+type TimingOptions struct {
+	// P is the simulated processor count; 0 selects 16.
+	P int
+	// Model is the machine cost model; zero value selects cluster.SP2.
+	Model cluster.CostModel
+	// DiskBytesPerSec models the master's file reads; 0 selects 20 MB/s.
+	DiskBytesPerSec float64
+	// Pad is the matching spectrum oversampling; 0 selects 2.
+	Pad int
+}
+
+func (o *TimingOptions) setDefaults() {
+	if o.P <= 0 {
+		o.P = 16
+	}
+	if o.Model == (cluster.CostModel{}) {
+		o.Model = cluster.SP2
+	}
+	if o.DiskBytesPerSec <= 0 {
+		o.DiskBytesPerSec = 20e6
+	}
+	if o.Pad <= 0 {
+		o.Pad = 2
+	}
+}
+
+// RunTiming reproduces Tables 1–2 for a dataset: it executes one
+// refinement pass per angular resolution of the default schedule on
+// the simulated cluster (each pass starting from the previous pass's
+// orientations, exactly as consecutive production runs would), and
+// reports per-step simulated times at both simulator and paper scale.
+func RunTiming(spec DatasetSpec, opt TimingOptions) (*TimingTable, error) {
+	opt.setDefaults()
+	ds := spec.Build()
+	truth := ds.Truth
+
+	// Step a once per pass in the paper; the map transform is the
+	// same for every pass here, so time it once and reuse.
+	cl := cluster.New(opt.P, opt.Model)
+	mapReadSecs := float64(8*spec.L*spec.L*spec.L) / opt.DiskBytesPerSec
+	ft := parfft.Transform3D(cl, truth, mapReadSecs)
+	dft3dSecs := ft.Elapsed
+	// Matching uses an oversampled spectrum for accuracy (the timing
+	// of step a is reported for the unpadded production transform).
+	dft := fourier.NewVolumeDFTPadded(truth, opt.Pad)
+
+	table := &TimingTable{Spec: spec, P: opt.P}
+	orients := ds.PerturbedOrientations(spec.InitError, spec.Seed+2)
+	images := ds.Images()
+
+	for _, lv := range core.DefaultSchedule() {
+		cfg := core.DefaultConfig(spec.L)
+		cfg.Schedule = []core.Level{lv}
+		r, err := core.NewRefiner(dft, cfg)
+		if err != nil {
+			return nil, err
+		}
+		popt := core.DefaultParallelOptions()
+		popt.ReadBytesPerSec = opt.DiskBytesPerSec
+		popt.DFT3DSecs = dft3dSecs
+		results, times, err := r.RefineOnCluster(cluster.New(opt.P, opt.Model), images, nil, orients, popt)
+		if err != nil {
+			return nil, err
+		}
+		row := TimingRow{
+			RAngular:    lv.RAngular,
+			SearchRange: 2*int(math.Round(lv.WindowHalf/lv.RAngular)) + 1,
+			DFT3D:       times.DFT3D,
+			ReadImages:  times.ReadImages,
+			FFTAnalysis: times.FFTAnalysis,
+			Refinement:  times.Refinement,
+			Total:       times.Total,
+		}
+		var matchSum float64
+		for i, res := range results {
+			orients[i] = res.Orient
+			st := res.PerLevel[0]
+			matchSum += float64(st.Matchings)
+			if st.Slides > 0 {
+				row.SlideViews++
+			}
+		}
+		row.MeanMatchings = matchSum / float64(len(results))
+		if row.Total > 0 {
+			row.RefinementShare = row.Refinement / row.Total
+		}
+		table.Rows = append(table.Rows, row)
+
+		table.PaperRows = append(table.PaperRows,
+			paperScaleRow(spec, opt, lv, row))
+	}
+	table.ReconSecs = paperReconSecs(spec, opt)
+	return table.validate()
+}
+
+// paperScaleRow prices one pass at the paper's dataset dimensions: the
+// measured matchings per view are kept, but the per-matching cost uses
+// the paper-size comparison band, the view FFTs use the paper box, and
+// I/O uses the paper file sizes.
+func paperScaleRow(spec DatasetSpec, opt TimingOptions, lv core.Level, measured TimingRow) TimingRow {
+	pl := spec.PaperL
+	pm := float64(spec.PaperViews)
+	perNode := math.Ceil(pm / float64(opt.P))
+	cfg := core.Config{RMap: 0.8 * float64(pl) / 2, Schedule: []core.Level{lv}}
+	band := float64(core.BandSize(pl, cfg))
+	frac := lv.RMapFrac
+	if frac == 0 {
+		frac = 1
+	}
+	bandAtLevel := band * frac * frac
+
+	row := TimingRow{
+		RAngular:      lv.RAngular,
+		SearchRange:   measured.SearchRange,
+		MeanMatchings: measured.MeanMatchings,
+		SlideViews:    measured.SlideViews,
+	}
+	row.DFT3D = parfft.ModelTime(opt.Model, pl, opt.P,
+		float64(8*pl*pl*pl)/opt.DiskBytesPerSec)
+	row.ReadImages = pm * float64(pl*pl) * 2 / opt.DiskBytesPerSec
+	row.FFTAnalysis = perNode * core.EstimateViewFFTFlops(pl) / opt.Model.FlopsPerSec
+	row.Refinement = perNode * measured.MeanMatchings *
+		core.EstimateMatchFlops(int(bandAtLevel)) / opt.Model.FlopsPerSec
+	row.Total = row.DFT3D + row.ReadImages + row.FFTAnalysis + row.Refinement
+	if row.Total > 0 {
+		row.RefinementShare = row.Refinement / row.Total
+	}
+	return row
+}
+
+// paperReconSecs models the paper-scale 3-D reconstruction (step C):
+// each view scatters its band coefficients with 8-point spreading,
+// plus one 3-D inverse FFT of the map.
+func paperReconSecs(spec DatasetSpec, opt TimingOptions) float64 {
+	pl := float64(spec.PaperL)
+	pm := float64(spec.PaperViews)
+	perNode := math.Ceil(pm / float64(opt.P))
+	band := math.Pi * (0.8 * pl / 2) * (0.8 * pl / 2)
+	insert := perNode * band * 8 * 12 / opt.Model.FlopsPerSec
+	ifft := 3 * 5 * pl * pl * pl * math.Log2(pl) / opt.Model.FlopsPerSec
+	return insert + ifft
+}
+
+func (t *TimingTable) validate() (*TimingTable, error) {
+	if len(t.Rows) == 0 {
+		return nil, fmt.Errorf("workload: timing produced no rows")
+	}
+	return t, nil
+}
+
+// CycleBreakdown summarizes the §5 cycle-economics claim at paper
+// scale: the refinement time of the finest pass versus the
+// reconstruction time.
+type CycleBreakdown struct {
+	RefinementSecs, ReconstructionSecs float64
+	// ReconstructionShare is recon/(recon+refinement over all rows).
+	ReconstructionShare float64
+}
+
+// Cycle computes the breakdown from a timing table.
+func (t *TimingTable) Cycle() CycleBreakdown {
+	var refine float64
+	for _, r := range t.PaperRows {
+		refine += r.Refinement
+	}
+	cb := CycleBreakdown{RefinementSecs: refine, ReconstructionSecs: t.ReconSecs}
+	if total := refine + t.ReconSecs; total > 0 {
+		cb.ReconstructionShare = t.ReconSecs / total
+	}
+	return cb
+}

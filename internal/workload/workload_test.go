@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestViewCounts(t *testing.T) {
+	rows := ViewCounts([]float64{3, 1, 0.1})
+	if len(rows) != 3 {
+		t.Fatal("row count")
+	}
+	// 3° and 1° are enumerated; 0.1° estimated.
+	if !rows[0].Measured || !rows[1].Measured || rows[2].Measured {
+		t.Fatalf("measured flags wrong: %+v", rows)
+	}
+	// Icosahedral reduction ≈ 60×.
+	for _, r := range rows[:2] {
+		ratio := float64(r.FullSphere) / float64(r.IcosAsymUnit)
+		if ratio < 40 || ratio > 80 {
+			t.Errorf("step %g: reduction ratio %.1f", r.StepDeg, ratio)
+		}
+	}
+	// §3: the asymmetric search space at 0.1° is (1800)³ ≈ 5.8·10⁹.
+	if got, want := rows[2].AsymSearchSpace, 1800.0*1800*1800; math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("asym search space %g, want %g", got, want)
+	}
+	// The paper's orders-of-magnitude claim: the asymmetric (θ,φ,ω)
+	// search space dwarfs the icosahedral view count at the same
+	// resolution. (Our uniform-AU enumeration gives ~7·10⁴ views at
+	// 0.1° where the paper quotes "about 4,000", so the measured
+	// blow-up lands near five orders rather than the paper's six —
+	// see EXPERIMENTS.md.)
+	blowup := rows[2].AsymSearchSpace / float64(rows[2].IcosAsymUnit)
+	if blowup < 1e4 || blowup > 1e8 {
+		t.Errorf("asymmetric blow-up %.2e, want ≥1e4", blowup)
+	}
+}
+
+func TestOpCountPaperExample(t *testing.T) {
+	// §4's example: 10° domain, 0.002° target.
+	rep := OpCount(10, nil)
+	if rep.FlatPerAxis != 5001 {
+		t.Errorf("flat per axis %d, want 5001", rep.FlatPerAxis)
+	}
+	if rep.MultiPerAxis >= 100 {
+		t.Errorf("multi per axis %d, want well under 100", rep.MultiPerAxis)
+	}
+	// Cubing both, the saving must reach at least four orders of
+	// magnitude (the paper's claim).
+	if rep.SavingFactor < 1e4 {
+		t.Errorf("saving factor %.2e, want ≥1e4", rep.SavingFactor)
+	}
+}
+
+func TestSpecScaled(t *testing.T) {
+	s := SindbisSpec().Scaled(2)
+	if s.L >= SindbisSpec().L || s.NumViews >= SindbisSpec().NumViews {
+		t.Fatal("scaling did not shrink")
+	}
+	if s.L%2 != 0 || s.L < 16 || s.NumViews < 8 {
+		t.Fatalf("scaled spec out of bounds: %+v", s)
+	}
+	if same := SindbisSpec().Scaled(1); same.L != SindbisSpec().L {
+		t.Fatal("factor 1 must be identity")
+	}
+}
+
+func TestRunFSCSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cycle refinement experiment")
+	}
+	spec := SindbisSpec().Scaled(1.6) // l=30, m=50
+	exp, err := RunFSC(spec, FSCOptions{Cycles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Headline result: the new method beats the old everywhere that
+	// matters.
+	if exp.New.MeanAngErr >= exp.Old.MeanAngErr {
+		t.Errorf("angular error: new %.3f° vs old %.3f°", exp.New.MeanAngErr, exp.Old.MeanAngErr)
+	}
+	if exp.New.MeanCenErr >= exp.Old.MeanCenErr {
+		t.Errorf("centre error: new %.3f vs old %.3f px", exp.New.MeanCenErr, exp.Old.MeanCenErr)
+	}
+	if exp.New.ResolutionA > exp.Old.ResolutionA {
+		t.Errorf("resolution: new %.2f Å vs old %.2f Å", exp.New.ResolutionA, exp.Old.ResolutionA)
+	}
+	if !exp.New.Curve.Dominates(exp.Old.Curve, 0.6) {
+		t.Errorf("new FSC curve does not dominate old")
+	}
+	if exp.New.TruthCC <= exp.Old.TruthCC {
+		t.Errorf("truth cc: new %.4f vs old %.4f", exp.New.TruthCC, exp.Old.TruthCC)
+	}
+	// Report rendering must not crash and must include the crossings.
+	var buf bytes.Buffer
+	WriteFSC(&buf, exp)
+	WriteSliding(&buf, spec.Name, exp.New.PerLevel)
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestRunTimingSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster timing experiment")
+	}
+	spec := SindbisSpec().Scaled(2) // l=24, m=40
+	table, err := RunTiming(spec, TimingOptions{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 || len(table.PaperRows) != 4 {
+		t.Fatalf("expected 4 resolutions, got %d/%d", len(table.Rows), len(table.PaperRows))
+	}
+	for i, r := range table.Rows {
+		if r.Total <= 0 || r.Refinement <= 0 {
+			t.Errorf("row %d: non-positive times %+v", i, r)
+		}
+	}
+	// Paper-scale shape: orientation refinement dominates the cycle.
+	for i, r := range table.PaperRows {
+		if r.RefinementShare < 0.9 {
+			t.Errorf("paper row %d: refinement share %.2f, want ≥0.9", i, r.RefinementShare)
+		}
+	}
+	// §5: reconstruction is a small fraction of the cycle.
+	cb := table.Cycle()
+	if cb.ReconstructionShare > 0.25 {
+		t.Errorf("reconstruction share %.2f, want small", cb.ReconstructionShare)
+	}
+	var buf bytes.Buffer
+	WriteTiming(&buf, table)
+	if buf.Len() == 0 {
+		t.Fatal("empty timing report")
+	}
+}
+
+func TestRunTimingCustomModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster timing experiment")
+	}
+	spec := AsymmetricSpec().Scaled(2.5)
+	fast := cluster.CostModel{LatencySec: 1e-6, BytesPerSec: 1e9, FlopsPerSec: 1e9}
+	table, err := RunTiming(spec, TimingOptions{P: 2, Model: fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := RunTiming(spec, TimingOptions{P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Rows[0].Total >= slow.Rows[0].Total {
+		t.Error("faster machine model did not reduce simulated time")
+	}
+}
+
+func TestRunSymmetryDetection(t *testing.T) {
+	cases := RunSymmetryDetection(32)
+	for _, c := range cases {
+		if !c.Correct() {
+			t.Errorf("%s: expected %s, detected %s", c.Name, c.Expected, c.Detected)
+		}
+	}
+	var buf bytes.Buffer
+	WriteSymDetect(&buf, cases)
+	if buf.Len() == 0 {
+		t.Fatal("empty symmetry report")
+	}
+}
+
+func TestReportViewCountsAndOpCount(t *testing.T) {
+	var buf bytes.Buffer
+	WriteViewCounts(&buf, ViewCounts([]float64{3, 0.1}))
+	WriteOpCount(&buf, OpCount(10, nil))
+	out := buf.String()
+	if len(out) < 100 {
+		t.Fatalf("report too short:\n%s", out)
+	}
+}
+
+func TestRunFSCWithResolutionLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cycle refinement experiment")
+	}
+	spec := AsymmetricSpec().Scaled(1.6)
+	exp, err := RunFSC(spec, FSCOptions{
+		Cycles:           2,
+		RMapFracPerCycle: []float64{0.6, 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At this scale both methods are limited by reference noise (the
+	// reference is reconstructed from imperfect orientations, not the
+	// ground truth), so assert the method ordering and sanity rather
+	// than absolute improvement.
+	if exp.New.MeanAngErr >= exp.Old.MeanAngErr {
+		t.Errorf("laddered: new %.2f° not better than old %.2f°",
+			exp.New.MeanAngErr, exp.Old.MeanAngErr)
+	}
+	if exp.New.ResolutionA <= 0 || exp.New.TruthCC <= 0 {
+		t.Errorf("invalid laddered outcome: res %.2f cc %.3f",
+			exp.New.ResolutionA, exp.New.TruthCC)
+	}
+}
+
+func TestRunConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cycle convergence experiment")
+	}
+	spec := SindbisSpec().Scaled(1.8)
+	res, err := RunConvergence(spec, FSCOptions{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cycles) != 3 {
+		t.Fatalf("%d cycles recorded, want 3", len(res.Cycles))
+	}
+	// The trajectory must be sane and must not collapse: the final
+	// truth correlation stays within a whisker of the best cycle.
+	best := 0.0
+	for _, c := range res.Cycles {
+		if c.ResolutionA <= 0 || c.TruthCC <= 0 {
+			t.Fatalf("cycle %d produced nonsense: %+v", c.Cycle, c)
+		}
+		if c.TruthCC > best {
+			best = c.TruthCC
+		}
+	}
+	if last := res.Cycles[len(res.Cycles)-1].TruthCC; last < best-0.05 {
+		t.Errorf("refinement diverged: final cc %.4f vs best %.4f", last, best)
+	}
+	var buf bytes.Buffer
+	res.Write(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty convergence report")
+	}
+	_ = res.Converged(0.01) // must not panic regardless of outcome
+}
+
+func TestRunConvergenceValidation(t *testing.T) {
+	if _, err := RunConvergence(SindbisSpec().Scaled(3), FSCOptions{}, 0); err == nil {
+		t.Fatal("zero cycles accepted")
+	}
+}
+
+func TestDepthStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("schedule-depth experiment")
+	}
+	spec := SindbisSpec().Scaled(2)
+	spec.SNR = 4 // keep the depth effect visible above the noise floor
+	rows, err := DepthStudy(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d depths, want 4", len(rows))
+	}
+	// Going from 1° to 0.1° must clearly reduce the angular error;
+	// going beyond must never make it much worse, and cost rises.
+	if rows[1].MeanAngErr >= rows[0].MeanAngErr {
+		t.Errorf("0.1° (%.3f°) not better than 1° (%.3f°)", rows[1].MeanAngErr, rows[0].MeanAngErr)
+	}
+	last := rows[len(rows)-1]
+	if last.MeanAngErr > rows[1].MeanAngErr*1.5 {
+		t.Errorf("deep refinement regressed: %.3f° vs %.3f°", last.MeanAngErr, rows[1].MeanAngErr)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MatchingsPerView <= rows[i-1].MatchingsPerView {
+			t.Errorf("depth %d not costlier than %d", rows[i].Levels, rows[i-1].Levels)
+		}
+	}
+	var buf bytes.Buffer
+	WriteDepthStudy(&buf, spec, rows)
+	if buf.Len() == 0 {
+		t.Fatal("empty depth report")
+	}
+}
