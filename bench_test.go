@@ -477,6 +477,56 @@ func BenchmarkRefineOneView(b *testing.B) {
 	b.ReportMetric(lastErr, "finalErr°")
 }
 
+// matchKernelSetup builds the refiner + prepared view used by the
+// fused-kernel micro-benchmarks (same fixture as BenchmarkRefineOneView).
+func matchKernelSetup(b *testing.B) (*core.Refiner, *core.View, geom.Euler) {
+	b.Helper()
+	truth := phantom.Asymmetric(32, 8, 1)
+	truth.SphericalMask(13)
+	ds := micrograph.Generate(truth, micrograph.GenParams{NumViews: 1, PixelA: 2.5, Seed: 2})
+	dft := fourier.NewVolumeDFTPadded(truth, 2)
+	r, err := core.NewRefiner(dft, core.DefaultConfig(32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := ds.Views[0]
+	pv, err := r.PrepareView(v.Image, v.CTF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r, pv, v.TrueOrient
+}
+
+// BenchmarkMatchKernel times one fused matching operation — cut
+// sampling over the full band plus the distance accumulation — the
+// inner loop of the entire refinement. It must stay at 0 allocs/op.
+func BenchmarkMatchKernel(b *testing.B) {
+	r, pv, o := matchKernelSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += r.Distance(pv, o)
+	}
+	_ = acc
+	b.ReportMetric(float64(r.BandSize()), "band")
+}
+
+// BenchmarkDistanceWindow times the batched sliding-window evaluation:
+// a 9×9×9 grid of candidate orientations scored in one call.
+func BenchmarkDistanceWindow(b *testing.B) {
+	r, pv, o := matchKernelSetup(b)
+	w := geom.CenteredWindow(o, 4, 1)
+	orients := w.Orientations()
+	dst := make([]float64, len(orients))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.DistanceWindow(pv, orients, dst)
+	}
+	b.ReportMetric(float64(len(orients)), "orients")
+}
+
 // BenchmarkReconstruction is the kernel benchmark for step C.
 func BenchmarkReconstruction(b *testing.B) {
 	truth := phantom.SindbisLike(32)

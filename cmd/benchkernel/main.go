@@ -1,0 +1,132 @@
+// Command benchkernel measures the fused orientation-matching kernel
+// and writes the results as JSON, giving subsequent changes a recorded
+// perf trajectory to regress against:
+//
+//	go run ./cmd/benchkernel -o BENCH_kernel.json
+//
+// It times three layers: one matching operation (cut sampling +
+// distance over the full band), one batched sliding-window evaluation
+// (9×9×9 orientations), and one full multi-resolution refinement of a
+// single view — the same fixtures as BenchmarkMatchKernel,
+// BenchmarkDistanceWindow and BenchmarkRefineOneView in bench_test.go.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fourier"
+	"repro/internal/geom"
+	"repro/internal/micrograph"
+	"repro/internal/phantom"
+)
+
+// Report is the schema of BENCH_kernel.json.
+type Report struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	L          int    `json:"l"`
+	Pad        int    `json:"pad"`
+	BandSize   int    `json:"band_size"`
+
+	NsPerMatch     float64 `json:"ns_per_match"`
+	MatchesPerSec  float64 `json:"matches_per_sec"`
+	AllocsPerMatch float64 `json:"allocs_per_match"`
+
+	WindowOrients     int     `json:"window_orients"`
+	NsPerWindow       float64 `json:"ns_per_window"`
+	NsPerWindowMatch  float64 `json:"ns_per_window_match"`
+	AllocsPerWindow   float64 `json:"allocs_per_window"`
+	NsPerRefineView   float64 `json:"ns_per_refine_view"`
+	RefineFinalErrDeg float64 `json:"refine_final_err_deg"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_kernel.json", "output path")
+	flag.Parse()
+
+	const l, pad = 32, 2
+	truth := phantom.Asymmetric(l, 8, 1)
+	truth.SphericalMask(13)
+	ds := micrograph.Generate(truth, micrograph.GenParams{NumViews: 1, PixelA: 2.5, Seed: 2})
+	dft := fourier.NewVolumeDFTPadded(truth, pad)
+	r, err := core.NewRefiner(dft, core.DefaultConfig(l))
+	if err != nil {
+		fatal(err)
+	}
+	v := ds.Views[0]
+	pv, err := r.PrepareView(v.Image, v.CTF)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		L:          l,
+		Pad:        pad,
+		BandSize:   r.BandSize(),
+	}
+
+	match := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			acc += r.Distance(pv, v.TrueOrient)
+		}
+		_ = acc
+	})
+	rep.NsPerMatch = float64(match.NsPerOp())
+	rep.MatchesPerSec = 1e9 / rep.NsPerMatch
+	rep.AllocsPerMatch = float64(match.AllocsPerOp())
+
+	w := geom.CenteredWindow(v.TrueOrient, 4, 1)
+	orients := w.Orientations()
+	dst := make([]float64, len(orients))
+	rep.WindowOrients = len(orients)
+	window := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.DistanceWindow(pv, orients, dst)
+		}
+	})
+	rep.NsPerWindow = float64(window.NsPerOp())
+	rep.NsPerWindowMatch = rep.NsPerWindow / float64(len(orients))
+	rep.AllocsPerWindow = float64(window.AllocsPerOp())
+
+	init := v.TrueOrient.Add(geom.Euler{Theta: 1.5, Phi: -1, Omega: 0.7})
+	var finalErr float64
+	refine := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fresh, err := r.PrepareView(v.Image, v.CTF)
+			if err != nil {
+				fatal(err)
+			}
+			res := r.RefineView(fresh, init)
+			finalErr = geom.AngularDistance(res.Orient, v.TrueOrient)
+		}
+	})
+	rep.NsPerRefineView = float64(refine.NsPerOp())
+	rep.RefineFinalErrDeg = finalErr
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %.0f ns/match (%.0f matches/sec, %g allocs), %.2f ms/refine\n",
+		*out, rep.NsPerMatch, rep.MatchesPerSec, rep.AllocsPerMatch, rep.NsPerRefineView/1e6)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchkernel:", err)
+	os.Exit(1)
+}

@@ -5,7 +5,6 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/geom"
 )
@@ -40,6 +39,9 @@ func DefaultGlobalSearchConfig() GlobalSearchConfig {
 // introduction attributes to slower classical methods.
 //
 // The view is not mutated; centre refinements run on private copies.
+// Results are deterministic for a given view and configuration,
+// independent of GOMAXPROCS: candidates are scored into their grid
+// slots and ranked with stable sorts.
 func (r *Refiner) GlobalSearch(v *View, cfg GlobalSearchConfig) (Result, error) {
 	if cfg.StepDeg <= 0 {
 		return Result{}, fmt.Errorf("core: StepDeg must be positive, got %g", cfg.StepDeg)
@@ -68,33 +70,26 @@ func (r *Refiner) GlobalSearch(v *View, cfg GlobalSearchConfig) (Result, error) 
 	nOmega := int(math.Max(1, math.Round(360/cfg.StepDeg)))
 
 	// Scan in parallel: the candidate set is large and independent.
-	workers := runtime.GOMAXPROCS(0)
-	results := make([][]scored, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var local []scored
-			for i := w; i < len(dirs); i += workers {
-				for k := 0; k < nOmega; k++ {
-					o := geom.Euler{
-						Theta: dirs[i].Theta,
-						Phi:   dirs[i].Phi,
-						Omega: float64(k) * cfg.StepDeg,
-					}
-					local = append(local, scored{o, r.m.magDistance(v.vd, o, n)})
-				}
+	// Each view direction owns a contiguous block of the flat result
+	// slice, so worker scheduling cannot reorder candidates.
+	workers := poolWorkers(len(dirs), runtime.GOMAXPROCS(0))
+	scratches := make([]*matchScratch, workers)
+	for w := range scratches {
+		scratches[w] = r.m.newScratch()
+	}
+	all := make([]scored, len(dirs)*nOmega)
+	runIndexed(len(dirs), workers, func(w, i int) {
+		sc := scratches[w]
+		for k := 0; k < nOmega; k++ {
+			o := geom.Euler{
+				Theta: dirs[i].Theta,
+				Phi:   dirs[i].Phi,
+				Omega: float64(k) * cfg.StepDeg,
 			}
-			results[w] = local
-		}(w)
-	}
-	wg.Wait()
-	var all []scored
-	for _, rs := range results {
-		all = append(all, rs...)
-	}
-	sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+			all[i*nOmega+k] = scored{o, r.m.magDistance(v.vd, o, n, sc)}
+		}
+	})
+	sort.SliceStable(all, func(a, b int) bool { return all[a].d < all[b].d })
 
 	// Re-rank the magnitude shortlist with the full phase-aware
 	// distance. When the view is already well centred the phase
@@ -106,10 +101,10 @@ func (r *Refiner) GlobalSearch(v *View, cfg GlobalSearchConfig) (Result, error) 
 		shortlist = shortlist[:50*cfg.TopK]
 	}
 	phased := make([]scored, len(shortlist))
-	for i, s := range shortlist {
-		phased[i] = scored{s.o, r.m.distance(v.vd, s.o, n)}
-	}
-	sort.Slice(phased, func(a, b int) bool { return phased[a].d < phased[b].d })
+	runIndexed(len(shortlist), workers, func(w, i int) {
+		phased[i] = scored{shortlist[i].o, r.m.distance(v.vd, shortlist[i].o, n, scratches[w])}
+	})
+	sort.SliceStable(phased, func(a, b int) bool { return phased[a].d < phased[b].d })
 
 	// Keep TopK well-separated candidates (≥ 2 steps apart) so the
 	// refinement seeds explore distinct basins.
@@ -133,10 +128,11 @@ func (r *Refiner) GlobalSearch(v *View, cfg GlobalSearchConfig) (Result, error) 
 	}
 
 	best := Result{Distance: math.Inf(1)}
+	sc := scratches[0]
 	for _, seed := range seeds {
-		// Private copy: RefineView bakes centre shifts into the view.
+		// Private copy: refinement bakes centre shifts into the view.
 		vc := &View{vd: v.vd.clone()}
-		res := r.RefineView(vc, seed)
+		res := r.refineViewWith(vc, seed, sc)
 		if res.Distance < best.Distance {
 			best = res
 		}

@@ -22,19 +22,32 @@ type bandEntry struct {
 // matcher owns the read-only state shared by all views: the volume
 // spectrum and the comparison band, sorted by increasing frequency
 // radius so coarse schedule levels can match on a low-frequency
-// prefix. It is safe for concurrent use.
+// prefix. It is safe for concurrent use; mutable per-worker state
+// lives in matchScratch.
 type matcher struct {
-	dft  *fourier.VolumeDFT
-	cfg  Config
-	l    int
-	band []bandEntry // sorted by radius ascending
+	dft *fourier.VolumeDFT
+	// smp is the fused central-section sampler bound to dft: lattice
+	// constants hoisted, wrap arithmetic branch-based, trilinear blend
+	// inlined. The scalar dft.Sample path is kept as the reference
+	// implementation (and test oracle).
+	smp fourier.Sampler
+	cfg Config
+	l   int
+	// band is sorted by (radius, h, k) ascending — the tie-break makes
+	// the layout, and therefore the floating-point accumulation order
+	// of every distance, reproducible across runs and Go versions.
+	band []bandEntry
+	// Structure-of-arrays mirror of band for the fused kernel: the hot
+	// loops read three flat float64 slices (frequencies pre-converted
+	// from int) instead of an array of mixed-field structs.
+	fh, fk, wt []float64
 	// invL2 normalizes distances to the paper's 1/l² scale.
 	invL2 float64
 }
 
 func newMatcher(dft *fourier.VolumeDFT, cfg Config) *matcher {
 	l := dft.SrcL
-	m := &matcher{dft: dft, cfg: cfg, l: l, invL2: 1 / float64(l*l)}
+	m := &matcher{dft: dft, smp: dft.NewSampler(cfg.Interp), cfg: cfg, l: l, invL2: 1 / float64(l*l)}
 	rmax := math.Min(cfg.RMap, float64(l)/2)
 	ri := int(rmax)
 	for h := -ri; h <= ri; h++ {
@@ -69,7 +82,24 @@ func newMatcher(dft *fourier.VolumeDFT, cfg Config) *matcher {
 			}
 		}
 	}
-	sort.SliceStable(m.band, func(a, b int) bool { return m.band[a].radius < m.band[b].radius })
+	sort.SliceStable(m.band, func(a, b int) bool {
+		ea, eb := m.band[a], m.band[b]
+		if ea.radius != eb.radius {
+			return ea.radius < eb.radius
+		}
+		if ea.h != eb.h {
+			return ea.h < eb.h
+		}
+		return ea.k < eb.k
+	})
+	m.fh = make([]float64, len(m.band))
+	m.fk = make([]float64, len(m.band))
+	m.wt = make([]float64, len(m.band))
+	for i, e := range m.band {
+		m.fh[i] = float64(e.h)
+		m.fk[i] = float64(e.k)
+		m.wt[i] = e.weight
+	}
 	return m
 }
 
@@ -108,6 +138,29 @@ func radialPower(dft *fourier.VolumeDFT, rmax float64) []float64 {
 // prefixLen returns how many leading band entries have radius ≤ rmax.
 func (m *matcher) prefixLen(rmax float64) int {
 	return sort.Search(len(m.band), func(i int) bool { return m.band[i].radius > rmax })
+}
+
+// matchScratch holds the reusable per-worker buffers of the fused
+// matching kernel, so the inner loops are allocation-free. Every
+// goroutine must own its scratch (the matcher itself stays read-only
+// and shared).
+type matchScratch struct {
+	cut       []complex128          // candidate cut being scored
+	centerCut []complex128          // fixed best cut during centre refinement
+	orients   []geom.Euler          // current window grid
+	pending   []geom.Euler          // uncached subset of the window
+	dists     []float64             // batched distances for pending
+	cache     map[orientKey]float64 // per-level distance memo across window slides
+}
+
+// newScratch allocates worker scratch sized to the full band.
+func (m *matcher) newScratch() *matchScratch {
+	n := len(m.band)
+	return &matchScratch{
+		cut:       make([]complex128, n),
+		centerCut: make([]complex128, n),
+		cache:     make(map[orientKey]float64, 256),
+	}
 }
 
 // viewData is the per-view matching state: the CTF-corrected transform
@@ -170,34 +223,45 @@ func wrapIdx(f, l int) int {
 	return f
 }
 
-// distance evaluates d(F, C_s) for the cut at orientation o without
-// materializing the cut: each band coefficient samples D̂ directly at
-// h·x̂' + k·ŷ'.
+// sampleCut fills cut with the reference cut C at orientation o over
+// the leading len(cut) band entries — the fused replacement for
+// sampling D̂ coefficient by coefficient — applying the view's
+// per-entry cut weights when present. It is the single cut
+// construction shared by the distance, magnitude and centre-refinement
+// paths, so the metric variants cannot drift from each other.
+func (m *matcher) sampleCut(cut []complex128, refW []float64, o geom.Euler) {
+	rot := o.Matrix()
+	n := len(cut)
+	m.smp.SampleCut(cut, m.fh[:n], m.fk[:n], rot.Col(0), rot.Col(1))
+	if refW != nil {
+		for i, c := range cut {
+			w := refW[i]
+			cut[i] = complex(real(c)*w, imag(c)*w)
+		}
+	}
+}
+
+// distanceToCut evaluates the configured distance between the view and
+// an already-sampled cut over the leading len(cut) band entries.
 //
 // With Config.NormalizeScale the cut is scaled by the least-squares
 // factor α* = ⟨F,C⟩/⟨C,C⟩ (clamped at zero) before the squared
 // difference, making the metric insensitive to intensity gain:
 // d = (E_F − ⟨F,C⟩²/E_C)/l². Without it, the paper's raw formula
 // d = Σ w·|F−C|² / l² is used.
-func (m *matcher) distance(vd *viewData, o geom.Euler, n int) float64 {
-	rot := o.Matrix()
-	xa, ya := rot.Col(0), rot.Col(1)
+func (m *matcher) distanceToCut(vd *viewData, cut []complex128) float64 {
+	n := len(cut)
 	energy := vd.prefixE[n]
+	wt := m.wt
+	vals := vd.vals
 	if m.cfg.NormalizeScale {
 		var ec, cross float64
-		for i, e := range m.band[:n] {
-			f3 := geom.Vec3{
-				X: xa.X*float64(e.h) + ya.X*float64(e.k),
-				Y: xa.Y*float64(e.h) + ya.Y*float64(e.k),
-				Z: xa.Z*float64(e.h) + ya.Z*float64(e.k),
-			}
-			c := m.dft.Sample(f3, m.cfg.Interp)
-			if vd.refW != nil {
-				c *= complex(vd.refW[i], 0)
-			}
-			fv := vd.vals[i]
-			ec += e.weight * (real(c)*real(c) + imag(c)*imag(c))
-			cross += e.weight * (real(fv)*real(c) + imag(fv)*imag(c))
+		for i, c := range cut {
+			fv := vals[i]
+			w := wt[i]
+			cr, ci := real(c), imag(c)
+			ec += w * (cr*cr + ci*ci)
+			cross += w * (real(fv)*cr + imag(fv)*ci)
 		}
 		if ec == 0 || cross <= 0 {
 			// A zero or anti-correlated cut cannot be scaled onto F;
@@ -207,43 +271,34 @@ func (m *matcher) distance(vd *viewData, o geom.Euler, n int) float64 {
 		return (energy - cross*cross/ec) * m.invL2
 	}
 	var d float64
-	for i, e := range m.band[:n] {
-		f3 := geom.Vec3{
-			X: xa.X*float64(e.h) + ya.X*float64(e.k),
-			Y: xa.Y*float64(e.h) + ya.Y*float64(e.k),
-			Z: xa.Z*float64(e.h) + ya.Z*float64(e.k),
-		}
-		c := m.dft.Sample(f3, m.cfg.Interp)
-		if vd.refW != nil {
-			c *= complex(vd.refW[i], 0)
-		}
-		fv := vd.vals[i]
+	for i, c := range cut {
+		fv := vals[i]
 		dr, di := real(fv)-real(c), imag(fv)-imag(c)
-		d += e.weight * (dr*dr + di*di)
+		d += wt[i] * (dr*dr + di*di)
 	}
 	return d * m.invL2
 }
 
-// cutValues materializes the cut C at orientation o over the band —
-// including any per-view reference weighting — for centre refinement
-// against a fixed best cut.
-func (m *matcher) cutValues(vd *viewData, o geom.Euler, n int) []complex128 {
-	rot := o.Matrix()
-	xa, ya := rot.Col(0), rot.Col(1)
-	out := make([]complex128, n)
-	for i, e := range m.band[:n] {
-		f3 := geom.Vec3{
-			X: xa.X*float64(e.h) + ya.X*float64(e.k),
-			Y: xa.Y*float64(e.h) + ya.Y*float64(e.k),
-			Z: xa.Z*float64(e.h) + ya.Z*float64(e.k),
-		}
-		c := m.dft.Sample(f3, m.cfg.Interp)
-		if vd.refW != nil {
-			c *= complex(vd.refW[i], 0)
-		}
-		out[i] = c
+// distance evaluates d(F, C_s) for the cut at orientation o without
+// materializing anything beyond the scratch cut buffer: the fused
+// sampler writes C over the band prefix and the accumulation follows.
+func (m *matcher) distance(vd *viewData, o geom.Euler, n int, sc *matchScratch) float64 {
+	cut := sc.cut[:n]
+	m.sampleCut(cut, vd.refW, o)
+	return m.distanceToCut(vd, cut)
+}
+
+// distanceWindow is the batched sliding-window entry point: it scores
+// every candidate orientation in one call, writing dst[i] for
+// orients[i]. Scratch, band layout and metric configuration are set up
+// once per call instead of once per candidate; dst must have length
+// len(orients).
+func (m *matcher) distanceWindow(vd *viewData, orients []geom.Euler, n int, sc *matchScratch, dst []float64) {
+	cut := sc.cut[:n]
+	for i, o := range orients {
+		m.sampleCut(cut, vd.refW, o)
+		dst[i] = m.distanceToCut(vd, cut)
 	}
-	return out
 }
 
 // shiftedDistance evaluates the distance between the view shifted by
@@ -253,17 +308,18 @@ func (m *matcher) shiftedDistance(vd *viewData, cut []complex128, dx, dy float64
 	twoPiOverL := 2 * math.Pi / float64(m.l)
 	n := len(cut)
 	energy := vd.prefixE[n]
+	fh, fk, wt := m.fh, m.fk, m.wt
+	vals := vd.vals
 	if m.cfg.NormalizeScale {
 		var ec, cross float64
-		for i, e := range m.band[:n] {
-			angle := -twoPiOverL * (float64(e.h)*dx + float64(e.k)*dy)
+		for i, c := range cut {
+			angle := -twoPiOverL * (fh[i]*dx + fk[i]*dy)
 			s, cph := math.Sincos(angle)
-			fv := vd.vals[i]
+			fv := vals[i]
 			fr := real(fv)*cph - imag(fv)*s
 			fi := real(fv)*s + imag(fv)*cph
-			c := cut[i]
-			ec += e.weight * (real(c)*real(c) + imag(c)*imag(c))
-			cross += e.weight * (fr*real(c) + fi*imag(c))
+			ec += wt[i] * (real(c)*real(c) + imag(c)*imag(c))
+			cross += wt[i] * (fr*real(c) + fi*imag(c))
 		}
 		if ec == 0 || cross <= 0 {
 			return energy * m.invL2
@@ -271,15 +327,14 @@ func (m *matcher) shiftedDistance(vd *viewData, cut []complex128, dx, dy float64
 		return (energy - cross*cross/ec) * m.invL2
 	}
 	var d float64
-	for i, e := range m.band[:n] {
-		angle := -twoPiOverL * (float64(e.h)*dx + float64(e.k)*dy)
+	for i, c := range cut {
+		angle := -twoPiOverL * (fh[i]*dx + fk[i]*dy)
 		s, cph := math.Sincos(angle)
-		fv := vd.vals[i]
+		fv := vals[i]
 		fr := real(fv)*cph - imag(fv)*s
 		fi := real(fv)*s + imag(fv)*cph
-		c := cut[i]
 		dr, di := fr-real(c), fi-imag(c)
-		d += e.weight * (dr*dr + di*di)
+		d += wt[i] * (dr*dr + di*di)
 	}
 	return d * m.invL2
 }
@@ -288,8 +343,9 @@ func (m *matcher) shiftedDistance(vd *viewData, cut []complex128, dx, dy float64
 // (step l: "correct E_q to account for the new center").
 func (m *matcher) applyShift(vd *viewData, dx, dy float64) {
 	twoPiOverL := 2 * math.Pi / float64(m.l)
-	for i, e := range m.band {
-		angle := -twoPiOverL * (float64(e.h)*dx + float64(e.k)*dy)
+	fh, fk := m.fh, m.fk
+	for i := range vd.vals {
+		angle := -twoPiOverL * (fh[i]*dx + fk[i]*dy)
 		s, cph := math.Sincos(angle)
 		fv := vd.vals[i]
 		vd.vals[i] = complex(real(fv)*cph-imag(fv)*s, real(fv)*s+imag(fv)*cph)
@@ -338,28 +394,22 @@ func viewFFTFlops(l int) float64 {
 // |F| vs |C|, which are unaffected by centre error (a shift is a pure
 // phase ramp). Less discriminative than phase-aware matching, but a
 // mis-centred view cannot derail it; the subsequent refinement stage
-// recovers the centre and switches back to the full metric.
-func (m *matcher) magDistance(vd *viewData, o geom.Euler, n int) float64 {
-	rot := o.Matrix()
-	xa, ya := rot.Col(0), rot.Col(1)
-	var ec, cross, ef float64
-	for i, e := range m.band[:n] {
-		f3 := geom.Vec3{
-			X: xa.X*float64(e.h) + ya.X*float64(e.k),
-			Y: xa.Y*float64(e.h) + ya.Y*float64(e.k),
-			Z: xa.Z*float64(e.h) + ya.Z*float64(e.k),
-		}
-		c := m.dft.Sample(f3, m.cfg.Interp)
-		if vd.refW != nil {
-			c *= complex(vd.refW[i], 0)
-		}
-		cm := math.Hypot(real(c), imag(c))
-		fv := vd.vals[i]
-		fm := math.Hypot(real(fv), imag(fv))
-		ec += e.weight * cm * cm
-		ef += e.weight * fm * fm
-		cross += e.weight * fm * cm
+// recovers the centre and switches back to the full metric. It shares
+// the fused cut construction with the primary metric.
+func (m *matcher) magDistance(vd *viewData, o geom.Euler, n int, sc *matchScratch) float64 {
+	cut := sc.cut[:n]
+	m.sampleCut(cut, vd.refW, o)
+	wt := m.wt
+	vals := vd.vals
+	var ec, cross float64
+	for i, c := range cut {
+		cm2 := real(c)*real(c) + imag(c)*imag(c)
+		fv := vals[i]
+		fm2 := real(fv)*real(fv) + imag(fv)*imag(fv)
+		ec += wt[i] * cm2
+		cross += wt[i] * math.Sqrt(fm2*cm2)
 	}
+	ef := vd.prefixE[n]
 	if ec == 0 || cross <= 0 {
 		return ef * m.invL2
 	}

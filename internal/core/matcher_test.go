@@ -28,13 +28,14 @@ func matcherFixture(t testing.TB, cfg Config) (*Refiner, *micrograph.Dataset) {
 func TestDistanceNonNegative(t *testing.T) {
 	r, ds := matcherFixture(t, DefaultConfig(20))
 	pv, _ := r.PrepareView(ds.Views[0].Image, ds.Views[0].CTF)
+	sc := r.m.newScratch()
 	f := func(th, ph, om float64) bool {
 		o := geom.Euler{
 			Theta: math.Mod(math.Abs(th), 180),
 			Phi:   math.Mod(math.Abs(ph), 360),
 			Omega: math.Mod(math.Abs(om), 360),
 		}
-		return r.m.distance(pv.vd, o, len(r.m.band)) >= 0
+		return r.m.distance(pv.vd, o, len(r.m.band), sc) >= 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
@@ -50,8 +51,9 @@ func TestDistanceRawVsNormalized(t *testing.T) {
 	rRaw, ds := matcherFixture(t, cfgRaw)
 	v := ds.Views[0]
 	pv, _ := rRaw.PrepareView(v.Image, v.CTF)
-	dTruth := rRaw.m.distance(pv.vd, v.TrueOrient, len(rRaw.m.band))
-	dOff := rRaw.m.distance(pv.vd, v.TrueOrient.Add(geom.Euler{Theta: 5}), len(rRaw.m.band))
+	sc := rRaw.m.newScratch()
+	dTruth := rRaw.m.distance(pv.vd, v.TrueOrient, len(rRaw.m.band), sc)
+	dOff := rRaw.m.distance(pv.vd, v.TrueOrient.Add(geom.Euler{Theta: 5}), len(rRaw.m.band), sc)
 	if dTruth >= dOff {
 		t.Fatalf("raw distance at truth (%g) not below offset (%g)", dTruth, dOff)
 	}
@@ -62,10 +64,11 @@ func TestDistanceRawVsNormalized(t *testing.T) {
 	pv1, _ := rNorm.PrepareView(v.Image, v.CTF)
 	pv2, _ := rNorm.PrepareView(scaled, v.CTF)
 	// Ranking of two orientations must be preserved under scaling.
-	a1 := rNorm.m.distance(pv1.vd, v.TrueOrient, len(rNorm.m.band))
-	b1 := rNorm.m.distance(pv1.vd, v.TrueOrient.Add(geom.Euler{Phi: 4}), len(rNorm.m.band))
-	a2 := rNorm.m.distance(pv2.vd, v.TrueOrient, len(rNorm.m.band))
-	b2 := rNorm.m.distance(pv2.vd, v.TrueOrient.Add(geom.Euler{Phi: 4}), len(rNorm.m.band))
+	scn := rNorm.m.newScratch()
+	a1 := rNorm.m.distance(pv1.vd, v.TrueOrient, len(rNorm.m.band), scn)
+	b1 := rNorm.m.distance(pv1.vd, v.TrueOrient.Add(geom.Euler{Phi: 4}), len(rNorm.m.band), scn)
+	a2 := rNorm.m.distance(pv2.vd, v.TrueOrient, len(rNorm.m.band), scn)
+	b2 := rNorm.m.distance(pv2.vd, v.TrueOrient.Add(geom.Euler{Phi: 4}), len(rNorm.m.band), scn)
 	if (a1 < b1) != (a2 < b2) {
 		t.Fatal("normalized distance ranking changed under intensity scaling")
 	}
@@ -129,7 +132,8 @@ func TestShiftedDistanceAgreesWithAppliedShift(t *testing.T) {
 	v := ds.Views[0]
 	pv, _ := r.PrepareView(v.Image, v.CTF)
 	n := len(r.m.band)
-	cut := r.m.cutValues(pv.vd, v.TrueOrient, n)
+	cut := make([]complex128, n)
+	r.m.sampleCut(cut, pv.vd.refW, v.TrueOrient)
 	want := r.m.shiftedDistance(pv.vd, cut, 0.7, -1.1)
 	r.m.applyShift(pv.vd, 0.7, -1.1)
 	got := r.m.shiftedDistance(pv.vd, cut, 0, 0)
@@ -159,10 +163,11 @@ func TestWeightingAffectsDistanceOrdering(t *testing.T) {
 	pvu, _ := ru.PrepareView(v.Image, v.CTF)
 	// Both metrics must still prefer the truth over a large offset.
 	off := v.TrueOrient.Add(geom.Euler{Theta: 8})
-	if rw.m.distance(pvw.vd, v.TrueOrient, len(rw.m.band)) >= rw.m.distance(pvw.vd, off, len(rw.m.band)) {
+	scw, scu := rw.m.newScratch(), ru.m.newScratch()
+	if rw.m.distance(pvw.vd, v.TrueOrient, len(rw.m.band), scw) >= rw.m.distance(pvw.vd, off, len(rw.m.band), scw) {
 		t.Fatal("weighted metric lost discrimination entirely")
 	}
-	if ru.m.distance(pvu.vd, v.TrueOrient, len(ru.m.band)) >= ru.m.distance(pvu.vd, off, len(ru.m.band)) {
+	if ru.m.distance(pvu.vd, v.TrueOrient, len(ru.m.band), scu) >= ru.m.distance(pvu.vd, off, len(ru.m.band), scu) {
 		t.Fatal("unweighted metric lost discrimination")
 	}
 }

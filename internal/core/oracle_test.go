@@ -1,0 +1,497 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fourier"
+	"repro/internal/geom"
+	"repro/internal/micrograph"
+	"repro/internal/phantom"
+)
+
+// This file preserves the pre-fusion scalar matching loops — each cut
+// coefficient sampled individually through VolumeDFT.Sample — as the
+// reference oracle for the fused kernel. Any change to the kernel must
+// keep the randomized equivalence tests below within 1e-12.
+
+func oracleDistance(m *matcher, vd *viewData, o geom.Euler, n int) float64 {
+	rot := o.Matrix()
+	xa, ya := rot.Col(0), rot.Col(1)
+	energy := vd.prefixE[n]
+	if m.cfg.NormalizeScale {
+		var ec, cross float64
+		for i, e := range m.band[:n] {
+			f3 := geom.Vec3{
+				X: xa.X*float64(e.h) + ya.X*float64(e.k),
+				Y: xa.Y*float64(e.h) + ya.Y*float64(e.k),
+				Z: xa.Z*float64(e.h) + ya.Z*float64(e.k),
+			}
+			c := m.dft.Sample(f3, m.cfg.Interp)
+			if vd.refW != nil {
+				c *= complex(vd.refW[i], 0)
+			}
+			fv := vd.vals[i]
+			ec += e.weight * (real(c)*real(c) + imag(c)*imag(c))
+			cross += e.weight * (real(fv)*real(c) + imag(fv)*imag(c))
+		}
+		if ec == 0 || cross <= 0 {
+			return energy * m.invL2
+		}
+		return (energy - cross*cross/ec) * m.invL2
+	}
+	var d float64
+	for i, e := range m.band[:n] {
+		f3 := geom.Vec3{
+			X: xa.X*float64(e.h) + ya.X*float64(e.k),
+			Y: xa.Y*float64(e.h) + ya.Y*float64(e.k),
+			Z: xa.Z*float64(e.h) + ya.Z*float64(e.k),
+		}
+		c := m.dft.Sample(f3, m.cfg.Interp)
+		if vd.refW != nil {
+			c *= complex(vd.refW[i], 0)
+		}
+		fv := vd.vals[i]
+		dr, di := real(fv)-real(c), imag(fv)-imag(c)
+		d += e.weight * (dr*dr + di*di)
+	}
+	return d * m.invL2
+}
+
+func oracleCutValues(m *matcher, vd *viewData, o geom.Euler, n int) []complex128 {
+	rot := o.Matrix()
+	xa, ya := rot.Col(0), rot.Col(1)
+	out := make([]complex128, n)
+	for i, e := range m.band[:n] {
+		f3 := geom.Vec3{
+			X: xa.X*float64(e.h) + ya.X*float64(e.k),
+			Y: xa.Y*float64(e.h) + ya.Y*float64(e.k),
+			Z: xa.Z*float64(e.h) + ya.Z*float64(e.k),
+		}
+		c := m.dft.Sample(f3, m.cfg.Interp)
+		if vd.refW != nil {
+			c *= complex(vd.refW[i], 0)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func oracleShiftedDistance(m *matcher, vd *viewData, cut []complex128, dx, dy float64) float64 {
+	twoPiOverL := 2 * math.Pi / float64(m.l)
+	n := len(cut)
+	energy := vd.prefixE[n]
+	if m.cfg.NormalizeScale {
+		var ec, cross float64
+		for i, e := range m.band[:n] {
+			angle := -twoPiOverL * (float64(e.h)*dx + float64(e.k)*dy)
+			s, cph := math.Sincos(angle)
+			fv := vd.vals[i]
+			fr := real(fv)*cph - imag(fv)*s
+			fi := real(fv)*s + imag(fv)*cph
+			c := cut[i]
+			ec += e.weight * (real(c)*real(c) + imag(c)*imag(c))
+			cross += e.weight * (fr*real(c) + fi*imag(c))
+		}
+		if ec == 0 || cross <= 0 {
+			return energy * m.invL2
+		}
+		return (energy - cross*cross/ec) * m.invL2
+	}
+	var d float64
+	for i, e := range m.band[:n] {
+		angle := -twoPiOverL * (float64(e.h)*dx + float64(e.k)*dy)
+		s, cph := math.Sincos(angle)
+		fv := vd.vals[i]
+		fr := real(fv)*cph - imag(fv)*s
+		fi := real(fv)*s + imag(fv)*cph
+		c := cut[i]
+		dr, di := fr-real(c), fi-imag(c)
+		d += e.weight * (dr*dr + di*di)
+	}
+	return d * m.invL2
+}
+
+func oracleMagDistance(m *matcher, vd *viewData, o geom.Euler, n int) float64 {
+	rot := o.Matrix()
+	xa, ya := rot.Col(0), rot.Col(1)
+	var ec, cross, ef float64
+	for i, e := range m.band[:n] {
+		f3 := geom.Vec3{
+			X: xa.X*float64(e.h) + ya.X*float64(e.k),
+			Y: xa.Y*float64(e.h) + ya.Y*float64(e.k),
+			Z: xa.Z*float64(e.h) + ya.Z*float64(e.k),
+		}
+		c := m.dft.Sample(f3, m.cfg.Interp)
+		if vd.refW != nil {
+			c *= complex(vd.refW[i], 0)
+		}
+		cm := math.Hypot(real(c), imag(c))
+		fv := vd.vals[i]
+		fm := math.Hypot(real(fv), imag(fv))
+		ec += e.weight * cm * cm
+		ef += e.weight * fm * fm
+		cross += e.weight * fm * cm
+	}
+	if ec == 0 || cross <= 0 {
+		return ef * m.invL2
+	}
+	return (ef - cross*cross/ec) * m.invL2
+}
+
+// oracleFixture builds a refiner + prepared view over a randomized
+// configuration axis: normalization, interpolation and CTF cut
+// weighting all covered.
+func oracleFixture(t *testing.T, cfg Config, seed int64) (*Refiner, *viewData, *micrograph.Dataset) {
+	t.Helper()
+	truth := phantom.Asymmetric(20, 6, 1)
+	truth.SphericalMask(8)
+	ds := micrograph.Generate(truth, micrograph.GenParams{NumViews: 1, PixelA: 2, Seed: seed, ApplyCTF: cfg.CTFWeightCuts})
+	dft := fourier.NewVolumeDFTPadded(truth, 2)
+	r, err := NewRefiner(dft, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := r.PrepareView(ds.Views[0].Image, ds.Views[0].CTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, pv.vd, ds
+}
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / (1 + math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func oracleConfigs() map[string]Config {
+	base := DefaultConfig(20)
+	raw := base
+	raw.NormalizeScale = false
+	nearest := base
+	nearest.Interp = fourier.Nearest
+	ctfW := base
+	ctfW.CTFWeightCuts = true
+	spectral := base
+	spectral.SpectralWeight = true
+	return map[string]Config{
+		"normalized": base,
+		"raw":        raw,
+		"nearest":    nearest,
+		"ctf-weight": ctfW,
+		"spectral":   spectral,
+	}
+}
+
+// TestFusedDistanceMatchesOracle compares the fused kernel against the
+// scalar reference over randomized orientations and band prefixes for
+// every metric configuration.
+func TestFusedDistanceMatchesOracle(t *testing.T) {
+	for name, cfg := range oracleConfigs() {
+		t.Run(name, func(t *testing.T) {
+			r, vd, _ := oracleFixture(t, cfg, 31)
+			sc := r.m.newScratch()
+			rng := rand.New(rand.NewSource(5))
+			full := len(r.m.band)
+			for trial := 0; trial < 120; trial++ {
+				o := geom.Euler{
+					Theta: rng.Float64() * 180,
+					Phi:   rng.Float64() * 360,
+					Omega: rng.Float64() * 360,
+				}
+				n := 1 + rng.Intn(full)
+				got := r.m.distance(vd, o, n, sc)
+				want := oracleDistance(r.m, vd, o, n)
+				if relDiff(got, want) > 1e-12 {
+					t.Fatalf("orient %v n=%d: fused %.17g, oracle %.17g", o, n, got, want)
+				}
+				gotMag := r.m.magDistance(vd, o, n, sc)
+				wantMag := oracleMagDistance(r.m, vd, o, n)
+				if relDiff(gotMag, wantMag) > 1e-12 {
+					t.Fatalf("orient %v n=%d: fused mag %.17g, oracle %.17g", o, n, gotMag, wantMag)
+				}
+			}
+		})
+	}
+}
+
+// TestFusedShiftedDistanceMatchesOracle covers the phase-ramp path and
+// the fused cut construction against the scalar cut sampler.
+func TestFusedShiftedDistanceMatchesOracle(t *testing.T) {
+	for name, cfg := range oracleConfigs() {
+		t.Run(name, func(t *testing.T) {
+			r, vd, _ := oracleFixture(t, cfg, 37)
+			rng := rand.New(rand.NewSource(9))
+			full := len(r.m.band)
+			for trial := 0; trial < 60; trial++ {
+				o := geom.Euler{
+					Theta: rng.Float64() * 180,
+					Phi:   rng.Float64() * 360,
+					Omega: rng.Float64() * 360,
+				}
+				n := 1 + rng.Intn(full)
+				cut := make([]complex128, n)
+				r.m.sampleCut(cut, vd.refW, o)
+				wantCut := oracleCutValues(r.m, vd, o, n)
+				for i := range cut {
+					if d := math.Hypot(real(cut[i])-real(wantCut[i]), imag(cut[i])-imag(wantCut[i])); d > 1e-12 {
+						t.Fatalf("cut %d at %v: fused %v, oracle %v", i, o, cut[i], wantCut[i])
+					}
+				}
+				dx := (rng.Float64() - 0.5) * 4
+				dy := (rng.Float64() - 0.5) * 4
+				got := r.m.shiftedDistance(vd, cut, dx, dy)
+				want := oracleShiftedDistance(r.m, vd, wantCut, dx, dy)
+				if relDiff(got, want) > 1e-12 {
+					t.Fatalf("shift (%g,%g) n=%d: fused %.17g, oracle %.17g", dx, dy, n, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDistanceWindowMatchesScalar checks the batched window kernel
+// slot-for-slot against individual distance evaluations.
+func TestDistanceWindowMatchesScalar(t *testing.T) {
+	r, vd, _ := oracleFixture(t, DefaultConfig(20), 41)
+	sc := r.m.newScratch()
+	n := len(r.m.band)
+	w := geom.CenteredWindow(geom.Euler{Theta: 55, Phi: 120, Omega: 300}, 4, 1)
+	orients := w.Orientations()
+	dst := make([]float64, len(orients))
+	r.m.distanceWindow(vd, orients, n, sc, dst)
+	sc2 := r.m.newScratch()
+	for i, o := range orients {
+		want := r.m.distance(vd, o, n, sc2)
+		if dst[i] != want {
+			t.Fatalf("window slot %d (%v): batched %.17g, scalar %.17g", i, o, dst[i], want)
+		}
+		wantOracle := oracleDistance(r.m, vd, o, n)
+		if relDiff(dst[i], wantOracle) > 1e-12 {
+			t.Fatalf("window slot %d (%v): batched %.17g, oracle %.17g", i, o, dst[i], wantOracle)
+		}
+	}
+}
+
+// TestApplyShiftEquivalentToShiftedDistance: baking a shift into the
+// view then evaluating the plain distance must agree with evaluating
+// shiftedDistance at that shift against the same cut.
+func TestApplyShiftEquivalentToShiftedDistance(t *testing.T) {
+	for name, cfg := range oracleConfigs() {
+		t.Run(name, func(t *testing.T) {
+			r, vd, _ := oracleFixture(t, cfg, 53)
+			rng := rand.New(rand.NewSource(17))
+			n := len(r.m.band)
+			for trial := 0; trial < 20; trial++ {
+				o := geom.Euler{
+					Theta: rng.Float64() * 180,
+					Phi:   rng.Float64() * 360,
+					Omega: rng.Float64() * 360,
+				}
+				dx := (rng.Float64() - 0.5) * 3
+				dy := (rng.Float64() - 0.5) * 3
+				cut := make([]complex128, n)
+				r.m.sampleCut(cut, vd.refW, o)
+				want := r.m.shiftedDistance(vd, cut, dx, dy)
+				shiftedVd := vd.clone()
+				r.m.applyShift(shiftedVd, dx, dy)
+				got := r.m.shiftedDistance(shiftedVd, cut, 0, 0)
+				if relDiff(got, want) > 1e-9 {
+					t.Fatalf("applyShift(%g,%g)+distance %.17g != shiftedDistance %.17g", dx, dy, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRefineViewMatchesOracleRefinement reruns a full multi-level
+// refinement with a scalar-oracle refiner (kernel calls replaced by
+// the reference loops) and demands identical trajectories: same
+// orientation within 1e-9° and same centre.
+func TestRefineViewMatchesOracleRefinement(t *testing.T) {
+	l := 24
+	truth := phantom.Asymmetric(l, 8, 1)
+	truth.SphericalMask(0.4 * float64(l))
+	ds := micrograph.Generate(truth, micrograph.GenParams{NumViews: 3, PixelA: 2, Seed: 61, CenterJitter: 1})
+	dft := fourier.NewVolumeDFTPadded(truth, 2)
+	cfg := DefaultConfig(l)
+	cfg.Schedule = []Level{
+		{RAngular: 1, WindowHalf: 4, CenterDelta: 1, CenterHalf: 1},
+		{RAngular: 0.1, WindowHalf: 0.4, CenterDelta: 0.1, CenterHalf: 1},
+	}
+	r, err := NewRefiner(dft, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inits := ds.PerturbedOrientations(2, 62)
+	for i, v := range ds.Views {
+		pv, _ := r.PrepareView(v.Image, v.CTF)
+		res := r.RefineView(pv, inits[i])
+		ov, _ := r.PrepareView(v.Image, v.CTF)
+		ores := oracleRefineView(r, ov.vd, inits[i])
+		if d := geom.AngularDistance(res.Orient, ores.Orient); d > 1e-9 {
+			t.Fatalf("view %d: fused orient %v vs oracle %v (%.3g° apart)", i, res.Orient, ores.Orient, d)
+		}
+		if math.Hypot(res.Center[0]-ores.Center[0], res.Center[1]-ores.Center[1]) > 1e-9 {
+			t.Fatalf("view %d: fused centre %v vs oracle %v", i, res.Center, ores.Center)
+		}
+	}
+}
+
+// oracleRefineView mirrors refineViewWith/refineLevel exactly but
+// evaluates every matching through the scalar oracle loops.
+func oracleRefineView(r *Refiner, vd *viewData, init geom.Euler) Result {
+	res := Result{Orient: init}
+	for _, lv := range r.cfg.Schedule {
+		oracleRefineLevel(r, vd, &res, lv)
+	}
+	return res
+}
+
+func oracleRefineLevel(r *Refiner, vd *viewData, res *Result, lv Level) {
+	const maxLevelIters = 4
+	var st LevelStats
+	n := r.m.prefixLen(lv.effRMapFrac() * r.cfg.RMap)
+	if n == 0 {
+		n = len(r.m.band)
+	}
+	cache := make(map[orientKey]float64)
+	eval := func(o geom.Euler) float64 {
+		k := keyOf(o, lv.RAngular)
+		if d, ok := cache[k]; ok {
+			return d
+		}
+		d := oracleDistance(r.m, vd, o, n)
+		cache[k] = d
+		return d
+	}
+	for iter := 0; iter < maxLevelIters; iter++ {
+		shifted := false
+		if lv.CenterDelta > 0 && lv.CenterHalf > 0 {
+			dx, dy, d := oracleRefineCenter(r, vd, res.Orient, lv, n)
+			if dx != 0 || dy != 0 {
+				r.m.applyShift(vd, dx, dy)
+				res.Center[0] += dx
+				res.Center[1] += dy
+				res.Distance = d
+				if math.Hypot(dx, dy) >= 0.25*lv.CenterDelta {
+					shifted = true
+					cache = make(map[orientKey]float64)
+				}
+			}
+		}
+		w := geom.CenteredWindow(res.Orient, lv.WindowHalf, lv.RAngular)
+		best, bestD := res.Orient, math.Inf(1)
+		for {
+			for _, o := range w.Orientations() {
+				if d := eval(o); d < bestD {
+					bestD = d
+					best = o
+				}
+			}
+			if !w.OnEdge(best) || st.Slides >= r.cfg.MaxSlides {
+				break
+			}
+			w = w.Recenter(best)
+			st.Slides++
+		}
+		moved := geom.AngularDistance(best, res.Orient) > lv.RAngular/2
+		res.Orient = best
+		res.Distance = bestD
+		if lv.CenterDelta <= 0 || lv.CenterHalf <= 0 || (!shifted && !moved) {
+			break
+		}
+	}
+}
+
+func oracleRefineCenter(r *Refiner, vd *viewData, o geom.Euler, lv Level, n int) (float64, float64, float64) {
+	var st LevelStats
+	cut := oracleCutValues(r.m, vd, o, n)
+	bestDx, bestDy := 0.0, 0.0
+	bestD := oracleShiftedDistance(r.m, vd, cut, 0, 0)
+	for {
+		cx, cy := bestDx, bestDy
+		improved := false
+		for i := -lv.CenterHalf; i <= lv.CenterHalf; i++ {
+			for j := -lv.CenterHalf; j <= lv.CenterHalf; j++ {
+				if i == 0 && j == 0 {
+					continue
+				}
+				dx := cx + float64(i)*lv.CenterDelta
+				dy := cy + float64(j)*lv.CenterDelta
+				d := oracleShiftedDistance(r.m, vd, cut, dx, dy)
+				if d < bestD {
+					bestD, bestDx, bestDy = d, dx, dy
+					improved = true
+				}
+			}
+		}
+		onEdge := math.Abs(bestDx-cx) >= float64(lv.CenterHalf)*lv.CenterDelta-1e-12 ||
+			math.Abs(bestDy-cy) >= float64(lv.CenterHalf)*lv.CenterDelta-1e-12
+		if !improved || !onEdge || st.CenterSlides >= r.cfg.MaxSlides {
+			break
+		}
+		st.CenterSlides++
+	}
+	if r.cfg.ParabolicCenter && bestD < math.Inf(1) {
+		delta := lv.CenterDelta
+		refineAxis := func(dxOff, dyOff float64) float64 {
+			dm := oracleShiftedDistance(r.m, vd, cut, bestDx-dxOff*delta, bestDy-dyOff*delta)
+			dp := oracleShiftedDistance(r.m, vd, cut, bestDx+dxOff*delta, bestDy+dyOff*delta)
+			den := dm - 2*bestD + dp
+			if den <= 0 {
+				return 0
+			}
+			off := 0.5 * (dm - dp) / den * delta
+			return math.Max(-delta/2, math.Min(delta/2, off))
+		}
+		ox := refineAxis(1, 0)
+		oy := refineAxis(0, 1)
+		if ox != 0 || oy != 0 {
+			if d := oracleShiftedDistance(r.m, vd, cut, bestDx+ox, bestDy+oy); d < bestD {
+				bestDx += ox
+				bestDy += oy
+				bestD = d
+			}
+		}
+	}
+	return bestDx, bestDy, bestD
+}
+
+// TestRefineBatchDeterministic: RefineBatch must produce bit-identical
+// results for any worker count.
+func TestRefineBatchDeterministic(t *testing.T) {
+	l := 20
+	truth := phantom.Asymmetric(l, 6, 1)
+	truth.SphericalMask(8)
+	ds := micrograph.Generate(truth, micrograph.GenParams{NumViews: 7, PixelA: 2, Seed: 71})
+	dft := fourier.NewVolumeDFTPadded(truth, 2)
+	cfg := DefaultConfig(l)
+	cfg.Schedule = []Level{{RAngular: 1, WindowHalf: 3, CenterDelta: 1, CenterHalf: 1}}
+	r, err := NewRefiner(dft, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inits := ds.PerturbedOrientations(2, 72)
+	var ref []Result
+	for _, workers := range []int{1, 2, 8} {
+		var views []*View
+		for _, v := range ds.Views {
+			pv, _ := r.PrepareView(v.Image, v.CTF)
+			views = append(views, pv)
+		}
+		res, err := r.RefineBatch(views, inits, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for i := range res {
+			if res[i].Orient != ref[i].Orient || res[i].Center != ref[i].Center || res[i].Distance != ref[i].Distance {
+				t.Fatalf("workers=%d: view %d result differs from workers=1", workers, i)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/cluster"
 	"repro/internal/ctf"
@@ -130,15 +131,34 @@ func (r *Refiner) RefineOnCluster(
 		nodeMarks[rank].fft = n.Clock()
 
 		// Steps f–n: refine each view through every level, with a
-		// barrier per level (step m).
+		// barrier per level (step m). Within a level the node's views
+		// are independent, so they run on a real worker pool sized to
+		// this node's share of the machine; the simulated clock is
+		// charged afterwards in view order, so the cost model (and
+		// therefore every simulated timing) is identical to the serial
+		// schedule regardless of GOMAXPROCS.
 		states := make([]Result, len(myIdx))
 		for i, q := range myIdx {
 			states[i] = Result{Orient: inits[q]}
 		}
 		band := len(r.m.band)
+		nodeWorkers := runtime.GOMAXPROCS(0) / p
+		if nodeWorkers < 1 {
+			nodeWorkers = 1
+		}
+		nodeWorkers = poolWorkers(len(myIdx), nodeWorkers)
+		scratches := make([]*matchScratch, nodeWorkers)
+		for w := range scratches {
+			scratches[w] = r.m.newScratch()
+		}
+		sts := make([]LevelStats, len(myIdx))
 		for _, lv := range r.cfg.Schedule {
+			lv := lv
+			runIndexed(len(myIdx), nodeWorkers, func(w, i int) {
+				sts[i] = r.refineLevel(myViews[i].vd, &states[i], lv, scratches[w])
+			})
 			for i := range myIdx {
-				st := r.refineLevel(myViews[i].vd, &states[i], lv)
+				st := sts[i]
 				states[i].PerLevel = append(states[i].PerLevel, st)
 				n.Compute(float64(st.Matchings) * flopsPerMatch(band))
 				n.Compute(float64(st.CenterEvals) * 15 * float64(band))

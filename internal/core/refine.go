@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 
 	"repro/internal/ctf"
@@ -14,10 +13,12 @@ import (
 
 // Refiner refines view orientations against one reference map
 // spectrum. It is safe for concurrent use by multiple goroutines: all
-// shared state is read-only after construction.
+// shared matching state is read-only after construction, and mutable
+// kernel buffers come from a per-call scratch pool.
 type Refiner struct {
-	m   *matcher
-	cfg Config
+	m           *matcher
+	cfg         Config
+	scratchPool sync.Pool
 }
 
 // NewRefiner builds a refiner for the centred map spectrum dft.
@@ -33,8 +34,18 @@ func NewRefiner(dft *fourier.VolumeDFT, cfg Config) (*Refiner, error) {
 	if cfg.RMap > float64(dft.SrcL)/2 {
 		cfg.RMap = float64(dft.SrcL) / 2
 	}
-	return &Refiner{m: newMatcher(dft, cfg), cfg: cfg}, nil
+	r := &Refiner{m: newMatcher(dft, cfg), cfg: cfg}
+	r.scratchPool.New = func() interface{} { return r.m.newScratch() }
+	return r, nil
 }
+
+// getScratch borrows worker scratch from the pool; returning it keeps
+// the public matching entry points allocation-free at steady state.
+func (r *Refiner) getScratch() *matchScratch {
+	return r.scratchPool.Get().(*matchScratch)
+}
+
+func (r *Refiner) putScratch(sc *matchScratch) { r.scratchPool.Put(sc) }
 
 // BandSize returns the number of Fourier coefficients per matching.
 func (r *Refiner) BandSize() int { return len(r.m.band) }
@@ -67,6 +78,30 @@ func (r *Refiner) PrepareView(im *volume.Image, p ctf.Params) (*View, error) {
 	return &View{vd: r.m.prepareView(f, refW)}, nil
 }
 
+// Distance evaluates the configured matching distance d(F, C) between
+// a prepared view and the reference cut at orientation o over the full
+// band. It is allocation-free at steady state and safe for concurrent
+// use.
+func (r *Refiner) Distance(v *View, o geom.Euler) float64 {
+	sc := r.getScratch()
+	d := r.m.distance(v.vd, o, len(r.m.band), sc)
+	r.putScratch(sc)
+	return d
+}
+
+// DistanceWindow evaluates the matching distance at every orientation,
+// writing dst[i] for orients[i] — the batched kernel behind the
+// sliding-window search, exposed for callers scoring whole candidate
+// grids. dst must have length len(orients).
+func (r *Refiner) DistanceWindow(v *View, orients []geom.Euler, dst []float64) {
+	if len(dst) != len(orients) {
+		panic(fmt.Sprintf("core: DistanceWindow dst length %d, orients length %d", len(dst), len(orients)))
+	}
+	sc := r.getScratch()
+	r.m.distanceWindow(v.vd, orients, len(r.m.band), sc, dst)
+	r.putScratch(sc)
+}
+
 // orientKey quantizes an orientation to the level grid for caching
 // distance evaluations across window slides.
 type orientKey [3]int64
@@ -83,9 +118,18 @@ func keyOf(o geom.Euler, step float64) orientKey {
 // one prepared view starting from the initial orientation. It returns
 // the refined orientation, centre offset and per-level statistics.
 func (r *Refiner) RefineView(v *View, init geom.Euler) Result {
+	sc := r.getScratch()
+	res := r.refineViewWith(v, init, sc)
+	r.putScratch(sc)
+	return res
+}
+
+// refineViewWith is RefineView bound to caller-owned scratch (one per
+// worker in the batch paths).
+func (r *Refiner) refineViewWith(v *View, init geom.Euler, sc *matchScratch) Result {
 	res := Result{Orient: init}
 	for _, lv := range r.cfg.Schedule {
-		st := r.refineLevel(v.vd, &res, lv)
+		st := r.refineLevel(v.vd, &res, lv, sc)
 		res.PerLevel = append(res.PerLevel, st)
 	}
 	return res
@@ -96,7 +140,7 @@ func (r *Refiner) RefineView(v *View, init geom.Euler) Result {
 // are coupled — a mis-centred view biases the orientation search and
 // vice versa — so the level alternates the two until neither moves
 // (at most maxLevelIters rounds).
-func (r *Refiner) refineLevel(vd *viewData, res *Result, lv Level) LevelStats {
+func (r *Refiner) refineLevel(vd *viewData, res *Result, lv Level, sc *matchScratch) LevelStats {
 	const maxLevelIters = 4
 	var st LevelStats
 	n := r.m.prefixLen(lv.effRMapFrac() * r.cfg.RMap)
@@ -104,17 +148,8 @@ func (r *Refiner) refineLevel(vd *viewData, res *Result, lv Level) LevelStats {
 		n = len(r.m.band)
 	}
 	st.BandUsed = n
-	cache := make(map[orientKey]float64)
-
-	eval := func(o geom.Euler) float64 {
-		k := keyOf(o, lv.RAngular)
-		if d, ok := cache[k]; ok {
-			return d
-		}
-		d := r.m.distance(vd, o, n)
-		cache[k] = d
-		st.Matchings++
-		return d
+	for k := range sc.cache {
+		delete(sc.cache, k)
 	}
 
 	for iter := 0; iter < maxLevelIters; iter++ {
@@ -125,7 +160,7 @@ func (r *Refiner) refineLevel(vd *viewData, res *Result, lv Level) LevelStats {
 		// orientation before searching orientations.
 		shifted := false
 		if lv.CenterDelta > 0 && lv.CenterHalf > 0 {
-			dx, dy, d := r.refineCenter(vd, res.Orient, lv, n, &st)
+			dx, dy, d := r.refineCenter(vd, res.Orient, lv, n, &st, sc)
 			if dx != 0 || dy != 0 {
 				r.m.applyShift(vd, dx, dy)
 				res.Center[0] += dx
@@ -137,17 +172,41 @@ func (r *Refiner) refineLevel(vd *viewData, res *Result, lv Level) LevelStats {
 				// and would otherwise cause endless alternation.
 				if math.Hypot(dx, dy) >= 0.25*lv.CenterDelta {
 					shifted = true
-					cache = make(map[orientKey]float64)
+					for k := range sc.cache {
+						delete(sc.cache, k)
+					}
 				}
 			}
 		}
 
-		// Steps f–i: sliding-window orientation search.
+		// Steps f–i: sliding-window orientation search. Each window is
+		// scored as one batched kernel call over the orientations not
+		// already in the level cache; the argmin then walks the window
+		// in grid order, so the selected orientation is identical to a
+		// scalar orientation-at-a-time scan.
 		w := geom.CenteredWindow(res.Orient, lv.WindowHalf, lv.RAngular)
 		best, bestD := res.Orient, math.Inf(1)
 		for {
-			for _, o := range w.Orientations() {
-				if d := eval(o); d < bestD {
+			sc.orients = w.AppendOrientations(sc.orients[:0])
+			sc.pending = sc.pending[:0]
+			for _, o := range sc.orients {
+				k := keyOf(o, lv.RAngular)
+				if _, ok := sc.cache[k]; !ok {
+					sc.cache[k] = math.NaN() // claimed; value lands below
+					sc.pending = append(sc.pending, o)
+				}
+			}
+			if cap(sc.dists) < len(sc.pending) {
+				sc.dists = make([]float64, len(sc.pending))
+			}
+			dists := sc.dists[:len(sc.pending)]
+			r.m.distanceWindow(vd, sc.pending, n, sc, dists)
+			for i, o := range sc.pending {
+				sc.cache[keyOf(o, lv.RAngular)] = dists[i]
+			}
+			st.Matchings += len(sc.pending)
+			for _, o := range sc.orients {
+				if d := sc.cache[keyOf(o, lv.RAngular)]; d < bestD {
 					bestD = d
 					best = o
 				}
@@ -175,8 +234,9 @@ func (r *Refiner) refineLevel(vd *viewData, res *Result, lv Level) LevelStats {
 
 // refineCenter performs the sliding-box centre search (step k) against
 // the cut at orientation o, returning the best shift and its distance.
-func (r *Refiner) refineCenter(vd *viewData, o geom.Euler, lv Level, n int, st *LevelStats) (float64, float64, float64) {
-	cut := r.m.cutValues(vd, o, n)
+func (r *Refiner) refineCenter(vd *viewData, o geom.Euler, lv Level, n int, st *LevelStats, sc *matchScratch) (float64, float64, float64) {
+	cut := sc.centerCut[:n]
+	r.m.sampleCut(cut, vd.refW, o)
 	bestDx, bestDy := 0.0, 0.0
 	bestD := r.m.shiftedDistance(vd, cut, 0, 0)
 	st.CenterEvals++
@@ -236,32 +296,29 @@ func (r *Refiner) refineCenter(vd *viewData, o geom.Euler, lv Level, n int, st *
 	return bestDx, bestDy, bestD
 }
 
-// RefineAll refines many views concurrently with a worker pool (the
-// shared-memory analogue of the paper's view partitioning). inits must
-// parallel views. workers ≤ 0 selects GOMAXPROCS.
-func (r *Refiner) RefineAll(views []*View, inits []geom.Euler, workers int) ([]Result, error) {
+// RefineBatch refines many views on a bounded worker pool (the
+// shared-memory analogue of the paper's view partitioning): workers
+// pull view indices from a shared counter, each worker owns one kernel
+// scratch for its whole run, and results land in input order
+// regardless of scheduling. inits must parallel views. workers ≤ 0
+// selects GOMAXPROCS.
+func (r *Refiner) RefineBatch(views []*View, inits []geom.Euler, workers int) ([]Result, error) {
 	if len(views) != len(inits) {
 		return nil, fmt.Errorf("core: %d views but %d initial orientations", len(views), len(inits))
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	workers = poolWorkers(len(views), workers)
+	scratches := make([]*matchScratch, workers)
+	for w := range scratches {
+		scratches[w] = r.m.newScratch()
 	}
 	results := make([]Result, len(views))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				results[i] = r.RefineView(views[i], inits[i])
-			}
-		}()
-	}
-	for i := range views {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	runIndexed(len(views), workers, func(w, i int) {
+		results[i] = r.refineViewWith(views[i], inits[i], scratches[w])
+	})
 	return results, nil
+}
+
+// RefineAll is RefineBatch under its historical name.
+func (r *Refiner) RefineAll(views []*View, inits []geom.Euler, workers int) ([]Result, error) {
+	return r.RefineBatch(views, inits, workers)
 }

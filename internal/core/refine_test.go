@@ -134,11 +134,12 @@ func TestDistanceMinimalAtTruth(t *testing.T) {
 	r, _ := NewRefiner(dft, DefaultConfig(l))
 	v := ds.Views[0]
 	pv, _ := r.PrepareView(v.Image, v.CTF)
-	d0 := r.m.distance(pv.vd, v.TrueOrient, len(r.m.band))
+	sc := r.m.newScratch()
+	d0 := r.m.distance(pv.vd, v.TrueOrient, len(r.m.band), sc)
 	for _, delta := range []geom.Euler{
 		{Theta: 2}, {Phi: -3}, {Omega: 2}, {Theta: -1, Phi: 1, Omega: -1},
 	} {
-		d := r.m.distance(pv.vd, v.TrueOrient.Add(delta), len(r.m.band))
+		d := r.m.distance(pv.vd, v.TrueOrient.Add(delta), len(r.m.band), sc)
 		if d <= d0 {
 			t.Errorf("distance at offset %v (%g) not worse than truth (%g)", delta, d, d0)
 		}

@@ -12,6 +12,12 @@
 // and Inverse applies the conjugate kernel scaled by 1/N, so
 // Inverse(Forward(x)) == x. Frequencies are stored in the usual DFT
 // layout: index k holds frequency k for k ≤ N/2 and k−N above.
+//
+// Plan setup is cached globally: the twiddle factors, bit-reversal
+// permutation and Bluestein chirp filter for each length are computed
+// once per process and shared (immutably) by every Plan of that
+// length, so repeated NewPlan/NewPlan2D/NewPlan3D calls in hot loops
+// cost only the per-plan scratch allocation.
 package fft
 
 import (
@@ -19,24 +25,105 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
-// Plan caches twiddle factors and scratch space for transforms of a
-// fixed length. A Plan is cheap to reuse and amortizes all setup; it
-// is not safe for concurrent use (each goroutine should own one).
-type Plan struct {
+// planTables is the immutable precomputed state for transforms of one
+// length: twiddle factors, the bit-reversal permutation and — for
+// non-power-of-two lengths — the Bluestein chirp and its transform.
+// Tables are built once per length and shared by every Plan through
+// the global cache; nothing mutates them after construction, which is
+// what makes the sharing safe across goroutines.
+type planTables struct {
 	n       int
 	pow2    bool
 	twiddle []complex128 // radix-2 twiddles for size n (or the inner pow-2 size)
 	rev     []int        // bit-reversal permutation
 
 	// Bluestein state (nil when n is a power of two).
-	bn     int          // convolution length, power of two ≥ 2n−1
-	chirp  []complex128 // exp(−iπ k²/n)
-	bfft   []complex128 // FFT of the chirp filter, precomputed
-	ascr   []complex128 // scratch
-	inner  *Plan        // pow-2 plan of size bn
-	invTmp []complex128 // scratch for inverse via conjugation
+	bn    int          // convolution length, power of two ≥ 2n−1
+	chirp []complex128 // exp(−iπ k²/n)
+	bfft  []complex128 // FFT of the chirp filter, precomputed
+	inner *planTables  // pow-2 tables of size bn
+}
+
+// planCache maps transform length to its shared *planTables.
+var planCache sync.Map
+
+// tablesFor returns the shared tables for length n, building them on
+// first use. Concurrent first calls may build duplicate tables; only
+// one wins the LoadOrStore and the rest are discarded.
+func tablesFor(n int) *planTables {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*planTables)
+	}
+	t := buildTables(n)
+	v, _ := planCache.LoadOrStore(n, t)
+	return v.(*planTables)
+}
+
+// CachedPlanSizes reports how many distinct transform lengths are in
+// the global plan cache (diagnostics and tests).
+func CachedPlanSizes() int {
+	n := 0
+	planCache.Range(func(_, _ interface{}) bool { n++; return true })
+	return n
+}
+
+func buildTables(n int) *planTables {
+	t := &planTables{n: n, pow2: n&(n-1) == 0}
+	if t.pow2 {
+		t.initPow2(n)
+		return t
+	}
+	// Bluestein: x̂ = chirp ⊛ (x·chirp) scaled by conj chirp.
+	t.bn = 1
+	for t.bn < 2*n-1 {
+		t.bn <<= 1
+	}
+	t.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Use k² mod 2n to avoid precision loss for large k.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		angle := -math.Pi * float64(kk) / float64(n)
+		t.chirp[k] = cmplx.Exp(complex(0, angle))
+	}
+	t.inner = tablesFor(t.bn)
+	b := make([]complex128, t.bn)
+	b[0] = cmplx.Conj(t.chirp[0])
+	for k := 1; k < n; k++ {
+		c := cmplx.Conj(t.chirp[k])
+		b[k] = c
+		b[t.bn-k] = c
+	}
+	t.inner.forwardPow2(b)
+	t.bfft = b
+	return t
+}
+
+func (t *planTables) initPow2(n int) {
+	t.twiddle = make([]complex128, n/2)
+	for k := range t.twiddle {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		t.twiddle[k] = cmplx.Exp(complex(0, angle))
+	}
+	t.rev = make([]int, n)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	if n == 1 {
+		shift = 64
+	}
+	for i := range t.rev {
+		t.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+}
+
+// Plan caches twiddle factors and scratch space for transforms of a
+// fixed length. The immutable tables come from the global cache, so a
+// Plan is cheap to create and reuse; it is not safe for concurrent use
+// (each goroutine should own one) because of its private scratch.
+type Plan struct {
+	*planTables
+	ascr []complex128 // Bluestein convolution scratch (nil for pow-2)
 }
 
 // NewPlan creates a transform plan for length n ≥ 1.
@@ -44,52 +131,11 @@ func NewPlan(n int) *Plan {
 	if n < 1 {
 		panic(fmt.Sprintf("fft: invalid length %d", n))
 	}
-	p := &Plan{n: n, pow2: n&(n-1) == 0}
-	if p.pow2 {
-		p.initPow2(n)
-		return p
+	p := &Plan{planTables: tablesFor(n)}
+	if !p.pow2 {
+		p.ascr = make([]complex128, p.bn)
 	}
-	// Bluestein: x̂ = chirp ⊛ (x·chirp) scaled by conj chirp.
-	p.bn = 1
-	for p.bn < 2*n-1 {
-		p.bn <<= 1
-	}
-	p.chirp = make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// Use k² mod 2n to avoid precision loss for large k.
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		angle := -math.Pi * float64(kk) / float64(n)
-		p.chirp[k] = cmplx.Exp(complex(0, angle))
-	}
-	p.inner = NewPlan(p.bn)
-	b := make([]complex128, p.bn)
-	b[0] = cmplx.Conj(p.chirp[0])
-	for k := 1; k < n; k++ {
-		c := cmplx.Conj(p.chirp[k])
-		b[k] = c
-		b[p.bn-k] = c
-	}
-	p.inner.forwardPow2(b)
-	p.bfft = b
-	p.ascr = make([]complex128, p.bn)
-	p.invTmp = make([]complex128, n)
 	return p
-}
-
-func (p *Plan) initPow2(n int) {
-	p.twiddle = make([]complex128, n/2)
-	for k := range p.twiddle {
-		angle := -2 * math.Pi * float64(k) / float64(n)
-		p.twiddle[k] = cmplx.Exp(complex(0, angle))
-	}
-	p.rev = make([]int, n)
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	if n == 1 {
-		shift = 64
-	}
-	for i := range p.rev {
-		p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
-	}
 }
 
 // Len returns the transform length of the plan.
@@ -124,13 +170,15 @@ func (p *Plan) Inverse(x []complex128) {
 	}
 }
 
-// forwardPow2 is the iterative radix-2 Cooley–Tukey kernel.
-func (p *Plan) forwardPow2(x []complex128) {
+// forwardPow2 is the iterative radix-2 Cooley–Tukey kernel. It reads
+// only the immutable tables, so shared tables may execute it
+// concurrently on distinct data.
+func (t *planTables) forwardPow2(x []complex128) {
 	n := len(x)
 	if n == 1 {
 		return
 	}
-	for i, j := range p.rev {
+	for i, j := range t.rev {
 		if i < j {
 			x[i], x[j] = x[j], x[i]
 		}
@@ -141,7 +189,7 @@ func (p *Plan) forwardPow2(x []complex128) {
 		for start := 0; start < n; start += size {
 			tw := 0
 			for k := start; k < start+half; k++ {
-				w := p.twiddle[tw]
+				w := t.twiddle[tw]
 				a, b := x[k], x[k+half]*w
 				x[k], x[k+half] = a+b, a-b
 				tw += stride

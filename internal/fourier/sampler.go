@@ -1,0 +1,202 @@
+package fourier
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Sampler is a spectrum sampler specialized to one VolumeDFT: the
+// lattice size, oversampling factor and Nyquist bound are hoisted out
+// of the per-sample path, wrap arithmetic uses conditional adds
+// instead of modulo, and the batched SampleCut kernel evaluates a
+// whole comparison band with the trilinear blend fully inlined. It
+// produces the same values as VolumeDFT.Sample (which is kept as the
+// straightforward reference implementation) but is built for the
+// matching hot loop, where it is called once per band coefficient per
+// candidate orientation.
+//
+// A Sampler is an immutable view of the spectrum and is safe for
+// concurrent use.
+type Sampler struct {
+	data    []complex128
+	l       int
+	pad     float64
+	ny      float64 // Nyquist bound of the (padded) lattice, l/2
+	nearest bool
+}
+
+// NewSampler builds a fused sampler for the spectrum with the given
+// interpolation mode.
+func (v *VolumeDFT) NewSampler(interp Interpolation) Sampler {
+	return Sampler{
+		data:    v.Data,
+		l:       v.L,
+		pad:     float64(v.Pad()),
+		ny:      float64(v.L) / 2,
+		nearest: interp == Nearest,
+	}
+}
+
+// At samples the spectrum at the continuous signed-frequency point
+// (x, y, z) in image frequency units — the fused equivalent of
+// VolumeDFT.Sample. Frequencies beyond Nyquist return zero.
+func (s *Sampler) At(x, y, z float64) complex128 {
+	x *= s.pad
+	y *= s.pad
+	z *= s.pad
+	ny := s.ny
+	if x < -ny || x > ny || y < -ny || y > ny || z < -ny || z > ny {
+		return 0
+	}
+	if s.nearest {
+		l := s.l
+		xi := wrapFreq(int(math.Round(x)), l)
+		yi := wrapFreq(int(math.Round(y)), l)
+		zi := wrapFreq(int(math.Round(z)), l)
+		return s.data[(xi*l+yi)*l+zi]
+	}
+	return s.trilinear(x, y, z)
+}
+
+// trilinear performs the 8-corner blend at an in-band padded-lattice
+// point. Corner indices lie within [−l/2, l/2+1], so wrapping needs at
+// most one conditional add or subtract instead of wrapFreq's modulo;
+// the eight corners are gathered once and blended on separate
+// real/imaginary accumulators, avoiding complex multiplies.
+func (s *Sampler) trilinear(x, y, z float64) complex128 {
+	l := s.l
+	xf, yf, zf := math.Floor(x), math.Floor(y), math.Floor(z)
+	fx, fy, fz := x-xf, y-yf, z-zf
+	x0, y0, z0 := int(xf), int(yf), int(zf)
+	x1, y1, z1 := x0+1, y0+1, z0+1
+	if x0 < 0 {
+		x0 += l
+	}
+	if x1 < 0 {
+		x1 += l
+	} else if x1 >= l {
+		x1 -= l
+	}
+	if y0 < 0 {
+		y0 += l
+	}
+	if y1 < 0 {
+		y1 += l
+	} else if y1 >= l {
+		y1 -= l
+	}
+	if z0 < 0 {
+		z0 += l
+	}
+	if z1 < 0 {
+		z1 += l
+	} else if z1 >= l {
+		z1 -= l
+	}
+	d := s.data
+	b00 := (x0*l + y0) * l
+	b01 := (x0*l + y1) * l
+	b10 := (x1*l + y0) * l
+	b11 := (x1*l + y1) * l
+	c000, c001 := d[b00+z0], d[b00+z1]
+	c010, c011 := d[b01+z0], d[b01+z1]
+	c100, c101 := d[b10+z0], d[b10+z1]
+	c110, c111 := d[b11+z0], d[b11+z1]
+	wx0, wy0, wz0 := 1-fx, 1-fy, 1-fz
+	w00, w01 := wx0*wy0, wx0*fy
+	w10, w11 := fx*wy0, fx*fy
+	w000, w001 := w00*wz0, w00*fz
+	w010, w011 := w01*wz0, w01*fz
+	w100, w101 := w10*wz0, w10*fz
+	w110, w111 := w11*wz0, w11*fz
+	re := w000*real(c000) + w001*real(c001) + w010*real(c010) + w011*real(c011) +
+		w100*real(c100) + w101*real(c101) + w110*real(c110) + w111*real(c111)
+	im := w000*imag(c000) + w001*imag(c001) + w010*imag(c010) + w011*imag(c011) +
+		w100*imag(c100) + w101*imag(c101) + w110*imag(c110) + w111*imag(c111)
+	return complex(re, im)
+}
+
+// SampleCut evaluates the spectrum at h·x̂ + k·ŷ for every coefficient
+// of a comparison band given in structure-of-arrays form (fh, fk hold
+// the signed image frequencies as float64), writing dst[i] for
+// (fh[i], fk[i]). x̂, ŷ are the image axes of the view — columns 0 and
+// 1 of the orientation matrix. This is the batched central-section
+// kernel of the matcher: one call per candidate orientation, with all
+// lattice constants and rotation columns held in registers across the
+// band loop. fh and fk must be at least len(dst) long.
+func (s *Sampler) SampleCut(dst []complex128, fh, fk []float64, xAxis, yAxis geom.Vec3) {
+	xx, xy, xz := xAxis.X, xAxis.Y, xAxis.Z
+	yx, yy, yz := yAxis.X, yAxis.Y, yAxis.Z
+	if s.nearest {
+		for i := range dst {
+			h, k := fh[i], fk[i]
+			dst[i] = s.At(xx*h+yx*k, xy*h+yy*k, xz*h+yz*k)
+		}
+		return
+	}
+	pad, ny := s.pad, s.ny
+	l := s.l
+	d := s.data
+	for i := range dst {
+		h, k := fh[i], fk[i]
+		x := (xx*h + yx*k) * pad
+		y := (xy*h + yy*k) * pad
+		z := (xz*h + yz*k) * pad
+		if x < -ny || x > ny || y < -ny || y > ny || z < -ny || z > ny {
+			dst[i] = 0
+			continue
+		}
+		// Trilinear blend, manually inlined (the method body is past
+		// the compiler's inlining budget): same corner order and weight
+		// associativity as Sampler.trilinear / VolumeDFT.Sample.
+		xf, yf, zf := math.Floor(x), math.Floor(y), math.Floor(z)
+		fx, fy, fz := x-xf, y-yf, z-zf
+		x0, y0, z0 := int(xf), int(yf), int(zf)
+		x1, y1, z1 := x0+1, y0+1, z0+1
+		if x0 < 0 {
+			x0 += l
+		}
+		if x1 < 0 {
+			x1 += l
+		} else if x1 >= l {
+			x1 -= l
+		}
+		if y0 < 0 {
+			y0 += l
+		}
+		if y1 < 0 {
+			y1 += l
+		} else if y1 >= l {
+			y1 -= l
+		}
+		if z0 < 0 {
+			z0 += l
+		}
+		if z1 < 0 {
+			z1 += l
+		} else if z1 >= l {
+			z1 -= l
+		}
+		b00 := (x0*l + y0) * l
+		b01 := (x0*l + y1) * l
+		b10 := (x1*l + y0) * l
+		b11 := (x1*l + y1) * l
+		c000, c001 := d[b00+z0], d[b00+z1]
+		c010, c011 := d[b01+z0], d[b01+z1]
+		c100, c101 := d[b10+z0], d[b10+z1]
+		c110, c111 := d[b11+z0], d[b11+z1]
+		wx0, wy0, wz0 := 1-fx, 1-fy, 1-fz
+		w00, w01 := wx0*wy0, wx0*fy
+		w10, w11 := fx*wy0, fx*fy
+		w000, w001 := w00*wz0, w00*fz
+		w010, w011 := w01*wz0, w01*fz
+		w100, w101 := w10*wz0, w10*fz
+		w110, w111 := w11*wz0, w11*fz
+		re := w000*real(c000) + w001*real(c001) + w010*real(c010) + w011*real(c011) +
+			w100*real(c100) + w101*real(c101) + w110*real(c110) + w111*real(c111)
+		im := w000*imag(c000) + w001*imag(c001) + w010*imag(c010) + w011*imag(c011) +
+			w100*imag(c100) + w101*imag(c101) + w110*imag(c110) + w111*imag(c111)
+		dst[i] = complex(re, im)
+	}
+}

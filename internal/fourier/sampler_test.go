@@ -1,0 +1,151 @@
+package fourier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/volume"
+)
+
+// randomVolumeDFT builds the spectrum of a random density at the given
+// oversampling factor.
+func randomVolumeDFT(l, pad int, seed int64) *VolumeDFT {
+	rng := rand.New(rand.NewSource(seed))
+	g := volume.NewGrid(l)
+	for i := range g.Data {
+		g.Data[i] = rng.NormFloat64()
+	}
+	if pad <= 1 {
+		return NewVolumeDFT(g)
+	}
+	return NewVolumeDFTPadded(g, pad)
+}
+
+func cdiff(a, b complex128) float64 {
+	return math.Hypot(real(a)-real(b), imag(a)-imag(b))
+}
+
+// TestSamplerMatchesSample drives the fused sampler and the scalar
+// reference over randomized in-band and out-of-band points, for both
+// interpolation modes and both padded and unpadded spectra.
+func TestSamplerMatchesSample(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		pad    int
+		interp Interpolation
+	}{
+		{"trilinear-unpadded", 1, Trilinear},
+		{"trilinear-padded", 2, Trilinear},
+		{"nearest-unpadded", 1, Nearest},
+		{"nearest-padded", 2, Nearest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dft := randomVolumeDFT(16, tc.pad, 41)
+			s := dft.NewSampler(tc.interp)
+			rng := rand.New(rand.NewSource(7))
+			scale := 0.0
+			for _, v := range dft.Data {
+				if a := real(v)*real(v) + imag(v)*imag(v); a > scale {
+					scale = a
+				}
+			}
+			scale = math.Sqrt(scale)
+			for i := 0; i < 4000; i++ {
+				// Span well past Nyquist so the out-of-band zero path is
+				// exercised too.
+				f := geom.Vec3{
+					X: (rng.Float64() - 0.5) * 22,
+					Y: (rng.Float64() - 0.5) * 22,
+					Z: (rng.Float64() - 0.5) * 22,
+				}
+				want := dft.Sample(f, tc.interp)
+				got := s.At(f.X, f.Y, f.Z)
+				if d := cdiff(got, want); d > 1e-12*scale {
+					t.Fatalf("point %v: fused %v, reference %v (diff %g)", f, got, want, d)
+				}
+			}
+		})
+	}
+}
+
+// TestSampleCutMatchesSample checks the batched band kernel against
+// per-point reference sampling for random orientations and bands.
+func TestSampleCutMatchesSample(t *testing.T) {
+	for _, interp := range []Interpolation{Trilinear, Nearest} {
+		dft := randomVolumeDFT(16, 2, 43)
+		s := dft.NewSampler(interp)
+		rng := rand.New(rand.NewSource(11))
+		const nBand = 120
+		fh := make([]float64, nBand)
+		fk := make([]float64, nBand)
+		for i := range fh {
+			fh[i] = float64(rng.Intn(17) - 8)
+			fk[i] = float64(rng.Intn(17) - 8)
+		}
+		dst := make([]complex128, nBand)
+		for trial := 0; trial < 40; trial++ {
+			o := geom.Euler{
+				Theta: rng.Float64() * 180,
+				Phi:   rng.Float64() * 360,
+				Omega: rng.Float64() * 360,
+			}
+			rot := o.Matrix()
+			xa, ya := rot.Col(0), rot.Col(1)
+			s.SampleCut(dst, fh, fk, xa, ya)
+			for i := range dst {
+				f := xa.Scale(fh[i]).Add(ya.Scale(fk[i]))
+				want := dft.Sample(f, interp)
+				if d := cdiff(dst[i], want); d > 1e-12 {
+					t.Fatalf("interp %v band %d orient %v: fused %v, reference %v",
+						interp, i, o, dst[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestSamplerEdgeFrequencies pins the wrap arithmetic at the exact
+// Nyquist boundary, where the conditional-subtract path replaces
+// modulo wrapping.
+func TestSamplerEdgeFrequencies(t *testing.T) {
+	dft := randomVolumeDFT(16, 1, 47)
+	s := dft.NewSampler(Trilinear)
+	ny := float64(dft.L) / 2
+	for _, f := range []geom.Vec3{
+		{X: ny}, {Y: ny}, {Z: ny},
+		{X: -ny}, {Y: -ny}, {Z: -ny},
+		{X: ny, Y: -ny, Z: ny},
+		{X: ny - 0.5, Y: 0.5 - ny, Z: 0},
+		{X: ny + 1e-9},
+	} {
+		want := dft.Sample(f, Trilinear)
+		got := s.At(f.X, f.Y, f.Z)
+		if d := cdiff(got, want); d > 1e-12 {
+			t.Fatalf("edge point %v: fused %v, reference %v", f, got, want)
+		}
+	}
+}
+
+func BenchmarkSamplerAt(b *testing.B) {
+	dft := randomVolumeDFT(32, 2, 3)
+	s := dft.NewSampler(Trilinear)
+	b.ReportAllocs()
+	var acc complex128
+	for i := 0; i < b.N; i++ {
+		acc += s.At(3.7, -2.2, 5.9)
+	}
+	_ = acc
+}
+
+func BenchmarkVolumeDFTSample(b *testing.B) {
+	dft := randomVolumeDFT(32, 2, 3)
+	f := geom.Vec3{X: 3.7, Y: -2.2, Z: 5.9}
+	b.ReportAllocs()
+	var acc complex128
+	for i := 0; i < b.N; i++ {
+		acc += dft.Sample(f, Trilinear)
+	}
+	_ = acc
+}

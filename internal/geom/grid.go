@@ -44,12 +44,25 @@ func (w Window) Size() int {
 // Orientations enumerates every orientation in the window in
 // deterministic (θ-major) order.
 func (w Window) Orientations() []Euler {
+	return w.AppendOrientations(nil)
+}
+
+// AppendOrientations appends the window's orientations to dst in the
+// same deterministic (θ-major) order as Orientations and returns the
+// extended slice. Passing a reused buffer (dst[:0]) makes repeated
+// window enumeration allocation-free once the buffer has grown to the
+// window size.
+func (w Window) AppendOrientations(dst []Euler) []Euler {
 	nt, np, no := w.Counts()
-	out := make([]Euler, 0, nt*np*no)
+	if need := len(dst) + nt*np*no; cap(dst) < need {
+		grown := make([]Euler, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
 	for i := 0; i < nt; i++ {
 		for j := 0; j < np; j++ {
 			for k := 0; k < no; k++ {
-				out = append(out, Euler{
+				dst = append(dst, Euler{
 					w.Min.Theta + float64(i)*w.Step,
 					w.Min.Phi + float64(j)*w.Step,
 					w.Min.Omega + float64(k)*w.Step,
@@ -57,7 +70,7 @@ func (w Window) Orientations() []Euler {
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // OnEdge reports whether orientation e lies on the outermost layer of
