@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/benchutil"
 	"repro/internal/core"
 	"repro/internal/fourier"
 	"repro/internal/geom"
@@ -48,7 +49,14 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "BENCH_kernel.json", "output path")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write heap profile to file")
 	flag.Parse()
+
+	stopProf, err := benchutil.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
 
 	const l, pad = 32, 2
 	truth := phantom.Asymmetric(l, 8, 1)
@@ -113,6 +121,10 @@ func main() {
 	})
 	rep.NsPerRefineView = float64(refine.NsPerOp())
 	rep.RefineFinalErrDeg = finalErr
+
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,51 @@
+// Package benchutil holds small helpers shared by the bench commands
+// (cmd/benchkernel, cmd/benchpipeline).
+package benchutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins CPU profiling if cpuPath is non-empty and
+// returns a stop function that ends the CPU profile and, if memPath is
+// non-empty, writes a heap profile (after a GC, so it reflects live
+// data rather than garbage). Either path may be empty; the stop
+// function is always non-nil.
+func StartProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	stop := func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return nil
+	}
+	return stop, nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/ctf"
+	"repro/internal/fourier"
 	"repro/internal/geom"
 	"repro/internal/parfft"
 	"repro/internal/volume"
@@ -109,14 +110,19 @@ func (r *Refiner) RefineOnCluster(
 		n.Scatter("views", 0, parts, len(myIdx)*viewBytes)
 		nodeMarks[rank].read = n.Clock()
 
-		// Steps d–e: 2-D DFT + CTF correction of owned views.
+		// Steps d–e: 2-D DFT + CTF correction of owned views, on one
+		// per-node transform scratch (spectrum buffer + real-input
+		// plan) so preparing a node's share allocates only band-sized
+		// view state.
 		myViews := make([]*View, len(myIdx))
+		trans := fourier.NewViewTransformer(l)
+		fbuf := volume.NewCImage(l)
 		for i, q := range myIdx {
 			params := ctf.Params{}
 			if len(ctfs) > 0 {
 				params = ctfs[q]
 			}
-			v, err := r.PrepareView(views[q], params)
+			v, err := r.prepareViewReuse(views[q], params, trans, fbuf)
 			if err != nil {
 				refineErr = err
 				return

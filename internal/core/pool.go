@@ -1,57 +1,12 @@
 package core
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "repro/internal/pool"
 
-// poolWorkers resolves a requested worker count for n independent work
-// items: non-positive requests select GOMAXPROCS, and the pool never
-// exceeds the number of items.
-func poolWorkers(n, workers int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
-}
+// poolWorkers and runIndexed are thin aliases for internal/pool, the
+// shared deterministic worker-pool primitive (also used by the parallel
+// slab DFT in internal/parfft). See that package for the determinism
+// contract.
 
-// runIndexed executes fn(worker, i) for every i in [0, n) on a bounded
-// pool of the given number of workers. Work is handed out through an
-// atomic counter, so load balances dynamically, and each index is
-// processed exactly once — callers get deterministic input-order
-// results by having fn write only to slot i of a preallocated slice.
-// The worker id (0 ≤ worker < workers) lets callers bind per-worker
-// scratch without synchronization. runIndexed returns after all items
-// complete.
-func runIndexed(n, workers int, fn func(worker, i int)) {
-	workers = poolWorkers(n, workers)
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(worker, i)
-			}
-		}(w)
-	}
-	wg.Wait()
-}
+func poolWorkers(n, workers int) int { return pool.Workers(n, workers) }
+
+func runIndexed(n, workers int, fn func(worker, i int)) { pool.RunIndexed(n, workers, fn) }

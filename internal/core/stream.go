@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ctf"
+	"repro/internal/fourier"
+	"repro/internal/geom"
+	"repro/internal/volume"
+)
+
+// Streaming refinement. RefineBatch wants every view prepared up
+// front, which materializes all m view spectra at once; on
+// production-scale datasets (the paper's 4,422 views of 511² pixels)
+// that is gigabytes of complex coefficients that exist only to be
+// reduced to a band. RefineStream instead runs a bounded three-stage
+// pipeline
+//
+//	load → 2-D FFT + CTF + band extraction → refine
+//
+// where stages are connected by channels of capacity Depth, every
+// stage reuses per-worker scratch (the FFT stage owns one spectrum
+// buffer and one real-input plan per worker; the refine stage owns one
+// matching scratch per worker), and a view's full l² spectrum never
+// outlives its band extraction. At any instant the pipeline holds at
+// most Depth+FFTWorkers raw images and Depth+RefineWorkers band-sized
+// views — independent of the dataset size.
+
+// StreamItem is one view entering the streaming pipeline.
+type StreamItem struct {
+	// Image is the raw experimental view E_q.
+	Image *volume.Image
+	// CTF carries the microscope parameters consulted when the refiner
+	// is configured for CTF correction or cut weighting.
+	CTF ctf.Params
+	// Init is the rough initial orientation O_q^init.
+	Init geom.Euler
+}
+
+// StreamSource produces view i on demand (step b's "read the next
+// view" made explicit). It is called sequentially from a single loader
+// goroutine, in index order, so implementations may read from a file
+// without locking.
+type StreamSource func(i int) (StreamItem, error)
+
+// SliceSource adapts already-materialized slices to a StreamSource —
+// convenient for tests and benchmarks. ctfs may be nil or empty when
+// no CTF state applies.
+func SliceSource(views []*volume.Image, ctfs []ctf.Params, inits []geom.Euler) StreamSource {
+	return func(i int) (StreamItem, error) {
+		it := StreamItem{Image: views[i], Init: inits[i]}
+		if len(ctfs) > 0 {
+			it.CTF = ctfs[i]
+		}
+		return it, nil
+	}
+}
+
+// StreamOptions configures the pipeline shape.
+type StreamOptions struct {
+	// Depth is the capacity of each inter-stage channel; it bounds how
+	// many views sit between stages. ≤0 selects twice the larger
+	// worker count.
+	Depth int
+	// FFTWorkers is the number of transform-stage workers (each owns a
+	// reusable spectrum buffer and real-input plan). ≤0 selects
+	// GOMAXPROCS.
+	FFTWorkers int
+	// RefineWorkers is the number of refinement-stage workers (each
+	// owns one matching scratch). ≤0 selects GOMAXPROCS. Refinement
+	// dominates end-to-end cost, so give it the cores when tuning.
+	RefineWorkers int
+}
+
+// StreamShape resolves the effective pipeline shape the options would
+// select for a large stream: FFT workers, refine workers, and channel
+// depth after defaulting. Useful for reporting what a run actually
+// used.
+func StreamShape(opt StreamOptions) (fftWorkers, refineWorkers, depth int) {
+	const many = 1 << 30 // don't let a small n clamp the answer
+	fftWorkers = poolWorkers(many, opt.FFTWorkers)
+	refineWorkers = poolWorkers(many, opt.RefineWorkers)
+	depth = opt.Depth
+	if depth <= 0 {
+		depth = 2 * fftWorkers
+		if 2*refineWorkers > depth {
+			depth = 2 * refineWorkers
+		}
+	}
+	return fftWorkers, refineWorkers, depth
+}
+
+// RefineStream refines n views pulled on demand from src through the
+// bounded pipeline, returning results in input order. Results are
+// bit-identical to RefineBatch over the same views: per-view
+// refinement is deterministic and workers write only their own result
+// slot, so pipeline scheduling cannot leak into the output. The first
+// error (from src or from view preparation) cancels the pipeline and
+// is returned.
+func (r *Refiner) RefineStream(n int, src StreamSource, opt StreamOptions) ([]Result, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative view count %d", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	fftWorkers := poolWorkers(n, opt.FFTWorkers)
+	refineWorkers := poolWorkers(n, opt.RefineWorkers)
+	depth := opt.Depth
+	if depth <= 0 {
+		depth = 2 * fftWorkers
+		if 2*refineWorkers > depth {
+			depth = 2 * refineWorkers
+		}
+	}
+
+	type loadedView struct {
+		i    int
+		item StreamItem
+	}
+	type preparedView struct {
+		i    int
+		v    *View
+		init geom.Euler
+	}
+	loaded := make(chan loadedView, depth)
+	prepared := make(chan preparedView, depth)
+	stop := make(chan struct{})
+	var once sync.Once
+	var firstErr error
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			close(stop)
+		})
+	}
+
+	// Stage 1: sequential loader.
+	go func() {
+		defer close(loaded)
+		for i := 0; i < n; i++ {
+			item, err := src(i)
+			if err != nil {
+				fail(fmt.Errorf("core: loading view %d: %w", i, err))
+				return
+			}
+			select {
+			case loaded <- loadedView{i: i, item: item}:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	// Stage 2: 2-D FFT + CTF + band extraction on reusable scratch.
+	var fftWG sync.WaitGroup
+	for w := 0; w < fftWorkers; w++ {
+		fftWG.Add(1)
+		go func() {
+			defer fftWG.Done()
+			trans := fourier.NewViewTransformer(r.m.l)
+			buf := volume.NewCImage(r.m.l)
+			for lv := range loaded {
+				v, err := r.prepareViewReuse(lv.item.Image, lv.item.CTF, trans, buf)
+				if err != nil {
+					fail(fmt.Errorf("core: preparing view %d: %w", lv.i, err))
+					return
+				}
+				select {
+				case prepared <- preparedView{i: lv.i, v: v, init: lv.item.Init}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		fftWG.Wait()
+		close(prepared)
+	}()
+
+	// Stage 3: refinement, one matching scratch per worker; results
+	// land in input order by index.
+	results := make([]Result, n)
+	var refineWG sync.WaitGroup
+	for w := 0; w < refineWorkers; w++ {
+		refineWG.Add(1)
+		go func() {
+			defer refineWG.Done()
+			sc := r.m.newScratch()
+			for pv := range prepared {
+				results[pv.i] = r.refineViewWith(pv.v, pv.init, sc)
+			}
+		}()
+	}
+	refineWG.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// prepareViewReuse is PrepareView bound to caller-owned transform
+// scratch: the spectrum lands in buf (overwritten) and only the
+// band-sized view state is freshly allocated.
+func (r *Refiner) prepareViewReuse(im *volume.Image, p ctf.Params, trans *fourier.ViewTransformer, buf *volume.CImage) (*View, error) {
+	if im.L != r.m.l {
+		return nil, fmt.Errorf("core: view size %d does not match map size %d", im.L, r.m.l)
+	}
+	trans.Transform(im, buf)
+	if r.cfg.CorrectCTF {
+		if err := ctf.Correct(buf, p, r.cfg.CTFMode); err != nil {
+			return nil, err
+		}
+	}
+	var refW []float64
+	if r.cfg.CTFWeightCuts {
+		refW = r.m.ctfCutWeights(p)
+	}
+	return &View{vd: r.m.prepareView(buf, refW)}, nil
+}

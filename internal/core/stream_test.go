@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ctf"
+	"repro/internal/fourier"
+	"repro/internal/geom"
+	"repro/internal/micrograph"
+	"repro/internal/phantom"
+	"repro/internal/volume"
+)
+
+func streamFixture(t testing.TB, m int) (*Refiner, *micrograph.Dataset) {
+	t.Helper()
+	const l = 16
+	truth := phantom.Asymmetric(l, 5, 1)
+	truth.SphericalMask(6)
+	ds := micrograph.Generate(truth, micrograph.GenParams{NumViews: m, PixelA: 2.5, Seed: 7})
+	dft := fourier.NewVolumeDFTPadded(truth, 2)
+	cfg := DefaultConfig(l)
+	cfg.Schedule = []Level{{RAngular: 1, WindowHalf: 2, CenterDelta: 1, CenterHalf: 1}}
+	r, err := NewRefiner(dft, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, ds
+}
+
+func datasetSource(ds *micrograph.Dataset, perturb geom.Euler) (int, StreamSource) {
+	views := make([]*volume.Image, len(ds.Views))
+	ctfs := make([]ctf.Params, len(ds.Views))
+	inits := make([]geom.Euler, len(ds.Views))
+	for i, v := range ds.Views {
+		views[i] = v.Image
+		ctfs[i] = v.CTF
+		inits[i] = v.TrueOrient.Add(perturb)
+	}
+	return len(views), SliceSource(views, ctfs, inits)
+}
+
+// TestRefineStreamMatchesBatch: the streaming pipeline must produce
+// bit-identical results to the prepare-everything-then-refine batch
+// path, for several pipeline shapes.
+func TestRefineStreamMatchesBatch(t *testing.T) {
+	r, ds := streamFixture(t, 6)
+	perturb := geom.Euler{Theta: 1.2, Phi: -0.8, Omega: 0.5}
+	n, src := datasetSource(ds, perturb)
+
+	views := make([]*View, n)
+	inits := make([]geom.Euler, n)
+	for i := 0; i < n; i++ {
+		it, _ := src(i)
+		v, err := r.PrepareView(it.Image, it.CTF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[i] = v
+		inits[i] = it.Init
+	}
+	want, err := r.RefineBatch(views, inits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, opt := range []StreamOptions{
+		{},
+		{Depth: 1, FFTWorkers: 1, RefineWorkers: 1},
+		{Depth: 2, FFTWorkers: 3, RefineWorkers: 2},
+		{FFTWorkers: 8, RefineWorkers: 8},
+	} {
+		got, err := r.RefineStream(n, src, opt)
+		if err != nil {
+			t.Fatalf("opt %+v: %v", opt, err)
+		}
+		if len(got) != n {
+			t.Fatalf("opt %+v: %d results, want %d", opt, len(got), n)
+		}
+		for i := range got {
+			if got[i].Orient != want[i].Orient || got[i].Center != want[i].Center || got[i].Distance != want[i].Distance {
+				t.Fatalf("opt %+v view %d: stream %+v vs batch %+v", opt, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRefineStreamPropagatesErrors: a failing source cancels the
+// pipeline and surfaces the error; a size-mismatched view fails in the
+// FFT stage the same way.
+func TestRefineStreamPropagatesErrors(t *testing.T) {
+	r, ds := streamFixture(t, 4)
+	boom := errors.New("disk on fire")
+	n, good := datasetSource(ds, geom.Euler{})
+	_, err := r.RefineStream(n, func(i int) (StreamItem, error) {
+		if i == 2 {
+			return StreamItem{}, boom
+		}
+		return good(i)
+	}, StreamOptions{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("source error not propagated: %v", err)
+	}
+
+	_, err = r.RefineStream(1, func(int) (StreamItem, error) {
+		return StreamItem{Image: volume.NewImage(8)}, nil
+	}, StreamOptions{})
+	if err == nil {
+		t.Fatal("size mismatch not surfaced")
+	}
+}
+
+// TestRefineStreamEmpty: zero views is a no-op, not a deadlock.
+func TestRefineStreamEmpty(t *testing.T) {
+	r, _ := streamFixture(t, 1)
+	res, err := r.RefineStream(0, func(int) (StreamItem, error) {
+		panic("source must not be called")
+	}, StreamOptions{})
+	if err != nil || res != nil {
+		t.Fatalf("empty stream: %v %v", res, err)
+	}
+}

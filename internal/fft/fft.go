@@ -47,18 +47,38 @@ type planTables struct {
 	inner *planTables  // pow-2 tables of size bn
 }
 
+// The size-keyed caches are sharded by length so that concurrent
+// first-use storms from many workers (per-plane plans in the parallel
+// slab DFT, per-view plans in the streaming pipeline) spread their
+// LoadOrStore traffic over independent sync.Maps instead of contending
+// on one. Steady-state lookups are lock-free reads either way; the
+// shards matter during warm-up, which is exactly when a pool of
+// workers all request the same handful of lengths at once.
+const cacheShards = 16
+
 // planCache maps transform length to its shared *planTables.
-var planCache sync.Map
+var planCache [cacheShards]sync.Map
+
+// realCache maps even transform length to its shared *realTables
+// (the unpack twiddles of the real-input path).
+var realCache [cacheShards]sync.Map
+
+func shardFor(n int) int {
+	// Fibonacci hash: the top 4 bits of n·φ32 spread consecutive and
+	// same-parity lengths across all 16 shards.
+	return int((uint32(n) * 0x9E3779B1) >> 28)
+}
 
 // tablesFor returns the shared tables for length n, building them on
 // first use. Concurrent first calls may build duplicate tables; only
 // one wins the LoadOrStore and the rest are discarded.
 func tablesFor(n int) *planTables {
-	if v, ok := planCache.Load(n); ok {
+	shard := &planCache[shardFor(n)]
+	if v, ok := shard.Load(n); ok {
 		return v.(*planTables)
 	}
 	t := buildTables(n)
-	v, _ := planCache.LoadOrStore(n, t)
+	v, _ := shard.LoadOrStore(n, t)
 	return v.(*planTables)
 }
 
@@ -66,7 +86,9 @@ func tablesFor(n int) *planTables {
 // the global plan cache (diagnostics and tests).
 func CachedPlanSizes() int {
 	n := 0
-	planCache.Range(func(_, _ interface{}) bool { n++; return true })
+	for i := range planCache {
+		planCache[i].Range(func(_, _ interface{}) bool { n++; return true })
+	}
 	return n
 }
 

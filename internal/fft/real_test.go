@@ -1,0 +1,320 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func randomReal(r *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	return x
+}
+
+// complexOracle2D transforms a real array through the complex 2-D
+// path, the reference the Hermitian-symmetry plans are pinned against.
+func complexOracle2D(src []float64, nx, ny int) []complex128 {
+	out := make([]complex128, len(src))
+	for i, v := range src {
+		out[i] = complex(v, 0)
+	}
+	NewPlan2D(nx, ny).Forward(out)
+	return out
+}
+
+func complexOracle3D(src []float64, nx, ny, nz int) []complex128 {
+	out := make([]complex128, len(src))
+	for i, v := range src {
+		out[i] = complex(v, 0)
+	}
+	NewPlan3D(nx, ny, nz).Forward(out)
+	return out
+}
+
+// maxRel returns the largest coefficient deviation relative to the
+// spectrum's peak magnitude.
+func maxRel(got, want []complex128) float64 {
+	var peak, worst float64
+	for _, w := range want {
+		if a := cmplx.Abs(w); a > peak {
+			peak = a
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	for i := range got {
+		if d := cmplx.Abs(got[i] - want[i]); d/peak > worst {
+			worst = d / peak
+		}
+	}
+	return worst
+}
+
+// TestRealPlan2DMatchesComplex pins the Hermitian 2-D path to the
+// complex oracle at ≤1e-12 relative across even, odd, mixed,
+// degenerate and prime shapes.
+func TestRealPlan2DMatchesComplex(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, d := range [][2]int{
+		{4, 4}, {8, 8}, {16, 16}, {32, 32}, // pow-2
+		{5, 7}, {9, 15}, {21, 21}, {13, 11}, // odd/prime (Bluestein)
+		{8, 6}, {6, 9}, {10, 21}, {17, 16}, // mixed parity
+		{1, 9}, {3, 1}, {1, 1}, {2, 2}, // degenerate
+	} {
+		nx, ny := d[0], d[1]
+		src := randomReal(r, nx*ny)
+		want := complexOracle2D(src, nx, ny)
+		got := make([]complex128, nx*ny)
+		NewRealPlan2D(nx, ny).Forward(src, got)
+		if rel := maxRel(got, want); rel > 1e-12 {
+			t.Errorf("%d×%d: real path deviates from complex by %g (rel)", nx, ny, rel)
+		}
+	}
+}
+
+// TestRealPlan3DMatchesComplex pins the Hermitian 3-D path the same
+// way.
+func TestRealPlan3DMatchesComplex(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for _, d := range [][3]int{
+		{4, 4, 4}, {8, 8, 8}, {16, 16, 16},
+		{3, 5, 7}, {9, 9, 9}, {5, 5, 5},
+		{6, 2, 9}, {2, 3, 1}, {1, 1, 1}, {4, 7, 10},
+	} {
+		nx, ny, nz := d[0], d[1], d[2]
+		src := randomReal(r, nx*ny*nz)
+		want := complexOracle3D(src, nx, ny, nz)
+		got := make([]complex128, nx*ny*nz)
+		NewRealPlan3D(nx, ny, nz).Forward(src, got)
+		if rel := maxRel(got, want); rel > 1e-12 {
+			t.Errorf("%d×%d×%d: real path deviates from complex by %g (rel)", nx, ny, nz, rel)
+		}
+	}
+}
+
+// TestRealPlan2DReuse: repeated transforms through one plan must not
+// contaminate each other via the shared scratch.
+func TestRealPlan2DReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	p := NewRealPlan2D(12, 10)
+	for trial := 0; trial < 4; trial++ {
+		src := randomReal(r, 12*10)
+		want := complexOracle2D(src, 12, 10)
+		got := make([]complex128, 12*10)
+		p.Forward(src, got)
+		if rel := maxRel(got, want); rel > 1e-12 {
+			t.Fatalf("trial %d: plan reuse broke (rel %g)", trial, rel)
+		}
+	}
+}
+
+// TestRealPlanInverseRoundTrip: Forward→Inverse must reproduce the
+// signal through the packed real path.
+func TestRealPlanInverseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	for _, n := range []int{2, 4, 10, 16, 64, 222} {
+		x := randomReal(r, n)
+		p, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spect, err := p.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := make([]float64, n)
+		if err := p.Inverse(spect, back); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-back[i]) > 1e-11 {
+				t.Fatalf("n=%d sample %d: %g vs %g", n, i, x[i], back[i])
+			}
+		}
+	}
+	// Validation errors.
+	p, _ := NewRealPlan(8)
+	if err := p.Inverse(make([]complex128, 6), make([]float64, 8)); err == nil {
+		t.Fatal("spectrum length mismatch accepted")
+	}
+	if err := p.Inverse(make([]complex128, 8), make([]float64, 6)); err == nil {
+		t.Fatal("dst length mismatch accepted")
+	}
+}
+
+// TestRFFTIRFFTAllLengths covers the convenience pair over even, odd
+// and prime lengths: RFFT must agree with the complex transform and
+// IRFFT must invert it.
+func TestRFFTIRFFTAllLengths(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	for _, n := range []int{1, 2, 3, 5, 7, 8, 9, 16, 17, 97, 221, 222} {
+		x := randomReal(r, n)
+		want := make([]complex128, n)
+		for i, v := range x {
+			want[i] = complex(v, 0)
+		}
+		Forward(want)
+		got := RFFT(x)
+		if rel := maxRel(got, want); rel > 1e-12 {
+			t.Errorf("n=%d: RFFT deviates by %g (rel)", n, rel)
+		}
+		back := IRFFT(got)
+		for i := range x {
+			if math.Abs(x[i]-back[i]) > 1e-10 {
+				t.Fatalf("n=%d: IRFFT sample %d: %g vs %g", n, i, x[i], back[i])
+			}
+		}
+	}
+}
+
+// TestRealTablesShared: real plans of one length must share the cached
+// unpack twiddles, like complex plans share planTables.
+func TestRealTablesShared(t *testing.T) {
+	a, _ := NewRealPlan(48)
+	b, _ := NewRealPlan(48)
+	if a.realTables != b.realTables {
+		t.Fatal("real plans built distinct table sets")
+	}
+	if &a.buf[0] == &b.buf[0] {
+		t.Fatal("real plans share mutable scratch")
+	}
+}
+
+// TestPlanCacheShardedConcurrent hammers many distinct lengths from
+// many goroutines through both caches at once; run under -race this
+// gates the sharded cache against construction races.
+func TestPlanCacheShardedConcurrent(t *testing.T) {
+	lengths := []int{30, 34, 38, 42, 46, 50, 54, 58, 62, 66, 70, 74}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for _, n := range lengths {
+				x := randomReal(r, n)
+				p, err := NewRealPlan(n)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				spect, err := p.Forward(x)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				back := make([]float64, n)
+				if err := p.Inverse(spect, back); err != nil {
+					t.Error(err)
+					return
+				}
+				for i := range x {
+					if math.Abs(x[i]-back[i]) > 1e-10 {
+						t.Error("round trip corrupted under concurrency")
+						return
+					}
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+}
+
+// BenchmarkNewPlanParallel measures concurrent plan construction for a
+// cached length across GOMAXPROCS goroutines — the warm-up pattern of
+// the parallel slab DFT and the streaming pipeline. With the sharded
+// lock-free cache this must scale, not serialize.
+func BenchmarkNewPlanParallel(b *testing.B) {
+	NewPlan(256)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = NewPlan(256)
+		}
+	})
+}
+
+// BenchmarkNewPlanParallelMixed exercises distinct lengths per
+// goroutine so shards are hit in parallel.
+func BenchmarkNewPlanParallelMixed(b *testing.B) {
+	lengths := []int{64, 128, 221, 243, 256, 509, 512, 1024}
+	for _, n := range lengths {
+		NewPlan(n)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			_ = NewPlan(lengths[i&7])
+			i++
+		}
+	})
+}
+
+// BenchmarkRealFFT2D_64 vs BenchmarkFFT2D_64Complex measure the
+// real-input speedup on a view-sized 2-D transform.
+func BenchmarkRealFFT2D_64(b *testing.B) {
+	const l = 64
+	r := rand.New(rand.NewSource(3))
+	src := randomReal(r, l*l)
+	dst := make([]complex128, l*l)
+	p := NewRealPlan2D(l, l)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(src, dst)
+	}
+}
+
+func BenchmarkFFT2D_64Complex(b *testing.B) {
+	const l = 64
+	r := rand.New(rand.NewSource(3))
+	src := randomReal(r, l*l)
+	work := make([]complex128, l*l)
+	p := NewPlan2D(l, l)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, v := range src {
+			work[j] = complex(v, 0)
+		}
+		p.Forward(work)
+	}
+}
+
+// BenchmarkRealFFT3D_32 vs BenchmarkFFT3D_32Complex measure the same
+// on a map-sized 3-D transform.
+func BenchmarkRealFFT3D_32(b *testing.B) {
+	const l = 32
+	r := rand.New(rand.NewSource(4))
+	src := randomReal(r, l*l*l)
+	dst := make([]complex128, l*l*l)
+	p := NewRealPlan3D(l, l, l)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(src, dst)
+	}
+}
+
+func BenchmarkFFT3D_32Complex(b *testing.B) {
+	const l = 32
+	r := rand.New(rand.NewSource(4))
+	src := randomReal(r, l*l*l)
+	work := make([]complex128, l*l*l)
+	p := NewPlan3D(l, l, l)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, v := range src {
+			work[j] = complex(v, 0)
+		}
+		p.Forward(work)
+	}
+}

@@ -68,8 +68,36 @@ func NewVolumeDFTPadded(g *volume.Grid, pad int) *VolumeDFT {
 	}
 	l := g.L
 	bl := pad * l
-	data := make([]complex128, bl*bl*bl)
+	// The padded cube is purely real, so the transform runs through the
+	// Hermitian-symmetry real-input path — half the floating-point work
+	// of the complex 3-D FFT. NewVolumeDFTComplex keeps the complex
+	// route as the reference implementation (and test oracle).
+	src := make([]float64, bl*bl*bl)
 	off := bl/2 - l/2 // maps voxel l/2 (particle origin) onto bl/2
+	for x := 0; x < l; x++ {
+		for y := 0; y < l; y++ {
+			base := ((x+off)*bl + y + off) * bl
+			srcBase := (x*l + y) * l
+			copy(src[base+off:base+off+l], g.Data[srcBase:srcBase+l])
+		}
+	}
+	data := make([]complex128, bl*bl*bl)
+	fft.NewRealPlan3D(bl, bl, bl).Forward(src, data)
+	applyCenterRamp3D(data, bl, +1)
+	return &VolumeDFT{L: bl, SrcL: l, Data: data}
+}
+
+// NewVolumeDFTComplex is the pre-real-path construction of the centred
+// padded spectrum, kept verbatim as the reference implementation for
+// oracle tests of the Hermitian-symmetry route.
+func NewVolumeDFTComplex(g *volume.Grid, pad int) *VolumeDFT {
+	if pad < 1 {
+		panic("fourier: pad must be ≥ 1")
+	}
+	l := g.L
+	bl := pad * l
+	data := make([]complex128, bl*bl*bl)
+	off := bl/2 - l/2
 	for x := 0; x < l; x++ {
 		for y := 0; y < l; y++ {
 			base := ((x+off)*bl + y + off) * bl
@@ -233,13 +261,63 @@ func (v *VolumeDFT) ExtractSliceInto(dst *volume.CImage, o geom.Euler, rmax floa
 	}
 }
 
-// ImageDFT computes the centred 2-D DFT F of a view.
+// ImageDFT computes the centred 2-D DFT F of a view. Views are real,
+// so the transform runs through the Hermitian-symmetry real-input path
+// (about half the work of the complex 2-D FFT); ImageDFTComplex keeps
+// the complex route as the reference implementation.
 func ImageDFT(im *volume.Image) *volume.CImage {
+	c := volume.NewCImage(im.L)
+	ImageDFTInto(c, im)
+	return c
+}
+
+// ImageDFTInto is ImageDFT writing into a caller-provided image,
+// avoiding the per-view spectrum allocation in streaming paths. For
+// repeated transforms of equally sized views prefer a ViewTransformer,
+// which additionally reuses the plan scratch and ramp table.
+func ImageDFTInto(dst *volume.CImage, im *volume.Image) {
+	NewViewTransformer(im.L).Transform(im, dst)
+}
+
+// ImageDFTComplex is the pre-real-path view transform, kept verbatim
+// as the reference implementation for oracle tests.
+func ImageDFTComplex(im *volume.Image) *volume.CImage {
 	l := im.L
 	c := im.Complex()
 	fft.NewPlan2D(l, l).Forward(c.Data)
 	applyCenterRamp2D(c.Data, l, +1)
 	return c
+}
+
+// ViewTransformer performs repeated centred 2-D DFTs of equally sized
+// real views through the real-input FFT path, owning all scratch (plan
+// buffers and the centring ramp) so steady-state transforms allocate
+// nothing. Not safe for concurrent use; each worker should own one.
+type ViewTransformer struct {
+	l    int
+	plan *fft.RealPlan2D
+	ramp []complex128
+}
+
+// NewViewTransformer creates a transformer for l×l views.
+func NewViewTransformer(l int) *ViewTransformer {
+	return &ViewTransformer{l: l, plan: fft.NewRealPlan2D(l, l), ramp: centerRamp(l, +1)}
+}
+
+// Transform computes the centred 2-D DFT of im into dst (fully
+// overwritten), in the same convention as ImageDFT.
+func (t *ViewTransformer) Transform(im *volume.Image, dst *volume.CImage) {
+	if im.L != t.l || dst.L != t.l {
+		panic("fourier: ViewTransformer size mismatch")
+	}
+	t.plan.Forward(im.Data, dst.Data)
+	for j := 0; j < t.l; j++ {
+		rj := t.ramp[j]
+		row := dst.Data[j*t.l : (j+1)*t.l]
+		for k := range row {
+			row[k] *= rj * t.ramp[k]
+		}
+	}
 }
 
 // InverseImageDFT converts a centred spectrum back to a real image.

@@ -12,14 +12,28 @@
 // The data genuinely moves between goroutine "nodes"; the simulated
 // clock model of package cluster reports what the communication and
 // FLOPs would cost on the configured machine.
+//
+// Execution model. Each node's local work — the a.3 plane transforms,
+// the a.4 pack/unpack, the a.5 z-line transforms and the a.6 assembly
+// — runs on a real worker pool of GOMAXPROCS/P cores (pool.RunIndexed),
+// so host wall time scales with the machine while the simulated clock
+// is still charged deterministically: Node.Compute is called with the
+// same analytic flop counts, outside the pools, exactly as the serial
+// schedule would. Simulated timings are therefore bit-identical for
+// any GOMAXPROCS (the same contract as core.RefineOnCluster). The a.3
+// transforms additionally use the real-input 2-D FFT path — the slab
+// planes of a density map are purely real — which roughly halves their
+// host-side cost without touching the cost model.
 package parfft
 
 import (
 	"math"
+	"runtime"
 
 	"repro/internal/cluster"
 	"repro/internal/fft"
 	"repro/internal/fourier"
+	"repro/internal/pool"
 	"repro/internal/volume"
 )
 
@@ -54,6 +68,16 @@ func fftFlops(n int) float64 {
 	return 5 * float64(n) * math.Log2(float64(n))
 }
 
+// nodeWorkers is each node's share of the real machine: GOMAXPROCS/P
+// cores, at least one.
+func nodeWorkers(p int) int {
+	w := runtime.GOMAXPROCS(0) / p
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Transform3D computes the centred 3-D DFT of g on the cluster,
 // returning the replicated spectrum. The master node (rank 0) holds g;
 // readSecs models the time it spends reading the map from disk (a.1)
@@ -66,13 +90,14 @@ func Transform3D(c *cluster.Cluster, g *volume.Grid, readSecs float64) Result {
 
 	stats := c.Run(func(n *cluster.Node) {
 		rank := n.Rank
+		workers := nodeWorkers(p)
 
 		// a.1–a.2: master reads the map and scatters z-slabs.
 		var parts []interface{}
 		if rank == 0 {
 			n.Sleep(readSecs)
 			parts = make([]interface{}, p)
-			for i := 0; i < p; i++ {
+			pool.RunIndexed(p, workers, func(_, i int) {
 				z0, z1 := zs[i], zs[i+1]
 				planes := make([][]complex128, 0, z1-z0)
 				for z := z0; z < z1; z++ {
@@ -85,23 +110,41 @@ func Transform3D(c *cluster.Cluster, g *volume.Grid, readSecs float64) Result {
 					planes = append(planes, plane)
 				}
 				parts[i] = planes
-			}
+			})
 		}
 		slabBytes := (zs[1] - zs[0]) * l * l * bytesPerComplex
 		myPlanes := n.Scatter("zslab", 0, parts, slabBytes).([][]complex128)
 
-		// a.3: 2-D FFT along x and y on every owned z-plane.
-		plan2d := fft.NewPlan2D(l, l)
-		for _, plane := range myPlanes {
-			plan2d.Forward(plane)
+		// a.3: 2-D FFT along x and y on every owned z-plane. The planes
+		// carry a real density map, so each worker runs the Hermitian
+		// real-input path on a private plan; the clock is charged with
+		// the same analytic count as before, in one deterministic call.
+		type fftScratch struct {
+			plan *fft.RealPlan2D
+			re   []float64
 		}
+		w3 := pool.Workers(len(myPlanes), workers)
+		scratch := make([]*fftScratch, w3)
+		pool.RunIndexed(len(myPlanes), w3, func(w, i int) {
+			sc := scratch[w]
+			if sc == nil {
+				sc = &fftScratch{plan: fft.NewRealPlan2D(l, l), re: make([]float64, l*l)}
+				scratch[w] = sc
+			}
+			plane := myPlanes[i]
+			for j, v := range plane {
+				sc.re[j] = real(v)
+			}
+			sc.plan.Forward(sc.re, plane)
+		})
 		n.Compute(float64(len(myPlanes)) * 2 * float64(l) * fftFlops(l))
 
 		// a.4: global exchange z-slabs -> y-slabs. The part destined
 		// for rank j holds, for each owned z, the block of all x and
-		// y ∈ Yj.
+		// y ∈ Yj. Destination blocks are independent, so packing fans
+		// out across the node's cores.
 		exParts := make([]interface{}, p)
-		for j := 0; j < p; j++ {
+		pool.RunIndexed(p, workers, func(_, j int) {
 			y0, y1 := zs[j], zs[j+1]
 			ny := y1 - y0
 			block := make([]complex128, len(myPlanes)*l*ny)
@@ -113,15 +156,17 @@ func Transform3D(c *cluster.Cluster, g *volume.Grid, readSecs float64) Result {
 				}
 			}
 			exParts[j] = block
-		}
+		})
 		partBytes := (zs[1] - zs[0]) * l * (zs[1] - zs[0]) * bytesPerComplex
 		recv := n.AllToAll("exchange", exParts, partBytes)
 
 		// Assemble the y-slab with z contiguous: (x·ny + yy)·l + z.
+		// Source blocks write disjoint z ranges, so unpacking is
+		// parallel over sources.
 		myY0, myY1 := zs[rank], zs[rank+1]
 		myNy := myY1 - myY0
 		yslab := make([]complex128, l*myNy*l)
-		for src := 0; src < p; src++ {
+		pool.RunIndexed(p, workers, func(_, src int) {
 			block := recv[src].([]complex128)
 			idx := 0
 			for z := zs[src]; z < zs[src+1]; z++ {
@@ -132,19 +177,26 @@ func Transform3D(c *cluster.Cluster, g *volume.Grid, readSecs float64) Result {
 					}
 				}
 			}
-		}
+		})
 
-		// a.5: 1-D FFT along z within the y-slab.
-		planZ := fft.NewPlan(l)
-		for line := 0; line < l*myNy; line++ {
-			planZ.Forward(yslab[line*l : (line+1)*l])
-		}
-		n.Compute(float64(l*myNy) * fftFlops(l))
+		// a.5: 1-D FFT along z within the y-slab, one private plan per
+		// worker (plans share immutable tables through the global
+		// cache, so this costs only scratch).
+		lines := l * myNy
+		w5 := pool.Workers(lines, workers)
+		zplans := make([]*fft.Plan, w5)
+		pool.RunIndexed(lines, w5, func(w, line int) {
+			if zplans[w] == nil {
+				zplans[w] = fft.NewPlan(l)
+			}
+			zplans[w].Forward(yslab[line*l : (line+1)*l])
+		})
+		n.Compute(float64(lines) * fftFlops(l))
 
 		// a.6: all-gather replicates the full transform everywhere.
 		gathered := n.AllGather("gather", yslab, l*myNy*l*bytesPerComplex)
 		full := volume.NewCGrid(l)
-		for src := 0; src < p; src++ {
+		pool.RunIndexed(p, workers, func(_, src int) {
 			sl := gathered[src].([]complex128)
 			y0 := zs[src]
 			ny := zs[src+1] - y0
@@ -153,7 +205,7 @@ func Transform3D(c *cluster.Cluster, g *volume.Grid, readSecs float64) Result {
 					copy(full.Data[(x*l+y0+yy)*l:(x*l+y0+yy)*l+l], sl[(x*ny+yy)*l:(x*ny+yy)*l+l])
 				}
 			}
-		}
+		})
 		results[rank] = full
 	})
 
@@ -176,7 +228,7 @@ func applyRamp(v *fourier.VolumeDFT) {
 		angle := 2 * math.Pi * f * c / float64(l)
 		ramp[i] = complex(math.Cos(angle), math.Sin(angle))
 	}
-	for x := 0; x < l; x++ {
+	pool.RunIndexed(l, 0, func(_, x int) {
 		for y := 0; y < l; y++ {
 			base := (x*l + y) * l
 			rxy := ramp[x] * ramp[y]
@@ -184,7 +236,7 @@ func applyRamp(v *fourier.VolumeDFT) {
 				v.Data[base+z] *= rxy * ramp[z]
 			}
 		}
-	}
+	})
 }
 
 // ModelTime predicts the simulated seconds for Transform3D on a map of

@@ -3,6 +3,7 @@ package parfft
 import (
 	"math/cmplx"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/cluster"
@@ -97,6 +98,34 @@ func TestModelTimeScaling(t *testing.T) {
 	// Read time passes straight through.
 	if d := ModelTime(m, 64, 4, 10) - ModelTime(m, 64, 4, 0); d < 10-1e-9 {
 		t.Fatalf("read time not accounted: delta %g", d)
+	}
+}
+
+// TestTransform3DClockIndependentOfGOMAXPROCS: the real-core worker
+// pools inside each node must not leak into the cost model — the
+// simulated timing is charged in deterministic rank order, so Elapsed
+// and every coefficient are bit-identical whether the host runs the
+// slab work on one core or many.
+func TestTransform3DClockIndependentOfGOMAXPROCS(t *testing.T) {
+	g := randomGrid(12, 9)
+	prev := runtime.GOMAXPROCS(1)
+	serial := Transform3D(cluster.New(4, testModel()), g, 0.25)
+	runtime.GOMAXPROCS(8)
+	wide := Transform3D(cluster.New(4, testModel()), g, 0.25)
+	runtime.GOMAXPROCS(prev)
+	if serial.Elapsed != wide.Elapsed {
+		t.Fatalf("simulated time depends on GOMAXPROCS: %g vs %g", serial.Elapsed, wide.Elapsed)
+	}
+	for r := range serial.Stats {
+		if serial.Stats[r] != wide.Stats[r] {
+			t.Fatalf("rank %d stats differ across GOMAXPROCS: %+v vs %+v",
+				r, serial.Stats[r], wide.Stats[r])
+		}
+	}
+	for i := range serial.DFT.Data {
+		if serial.DFT.Data[i] != wide.DFT.Data[i] {
+			t.Fatal("spectrum depends on GOMAXPROCS")
+		}
 	}
 }
 

@@ -1,0 +1,66 @@
+// Package pool provides the one concurrency primitive shared by every
+// compute-bound fan-out in the system: a bounded worker pool handing
+// out indices through an atomic counter. It sits below both the
+// orientation-refinement batch paths (internal/core) and the parallel
+// slab DFT (internal/parfft), which cannot import each other.
+//
+// Determinism contract: fn(worker, i) is called exactly once for every
+// i in [0, n), and callers obtain input-order results by writing only
+// slot i of a preallocated slice. Nothing about scheduling leaks into
+// the output; the worker id exists solely to bind per-worker scratch
+// without synchronization.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count for n independent work
+// items: non-positive requests select GOMAXPROCS, and the pool never
+// exceeds the number of items.
+func Workers(n, workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// RunIndexed executes fn(worker, i) for every i in [0, n) on a bounded
+// pool of the given number of workers. Work is handed out through an
+// atomic counter, so load balances dynamically, and each index is
+// processed exactly once. The worker id (0 ≤ worker < workers) lets
+// callers bind per-worker scratch without synchronization. RunIndexed
+// returns after all items complete.
+func RunIndexed(n, workers int, fn func(worker, i int)) {
+	workers = Workers(n, workers)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,60 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(100, 0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(100, 0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(3, 8); got != 3 {
+		t.Errorf("Workers(3, 8) = %d, want 3 (clamp to items)", got)
+	}
+	if got := Workers(0, 0); got != 1 {
+		t.Errorf("Workers(0, 0) = %d, want 1 (floor)", got)
+	}
+	if got := Workers(5, 2); got != 2 {
+		t.Errorf("Workers(5, 2) = %d, want 2", got)
+	}
+}
+
+// TestRunIndexedExactlyOnce: every index in [0, n) is visited exactly
+// once, for serial and parallel worker counts.
+func TestRunIndexedExactlyOnce(t *testing.T) {
+	const n = 1000
+	for _, workers := range []int{1, 2, 7, 64} {
+		counts := make([]atomic.Int32, n)
+		RunIndexed(n, workers, func(_, i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestRunIndexedWorkerIDs: worker ids stay in [0, workers), so they can
+// safely index per-worker scratch slices.
+func TestRunIndexedWorkerIDs(t *testing.T) {
+	const n, workers = 500, 4
+	var bad atomic.Int32
+	RunIndexed(n, workers, func(w, _ int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d calls saw an out-of-range worker id", bad.Load())
+	}
+}
+
+func TestRunIndexedEmpty(t *testing.T) {
+	RunIndexed(0, 4, func(_, _ int) {
+		t.Fatal("fn called for empty range")
+	})
+}
