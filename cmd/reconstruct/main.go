@@ -94,7 +94,9 @@ func main() {
 			if err := m.ZSection(z).WritePGM(sf); err != nil {
 				log.Fatal(err)
 			}
-			sf.Close()
+			if err := sf.Close(); err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("wrote %s\n", path)
 		}
 	}

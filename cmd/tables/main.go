@@ -71,19 +71,19 @@ func main() {
 		fmt.Printf("==== %s ====\n", id)
 		switch id {
 		case "fig1b":
-			workload.WriteViewCounts(os.Stdout, workload.ViewCounts([]float64{6, 3, 1, 0.1}))
+			must(workload.WriteViewCounts(os.Stdout, workload.ViewCounts([]float64{6, 3, 1, 0.1})))
 		case "opcount":
-			workload.WriteOpCount(os.Stdout, workload.OpCount(10, nil))
+			must(workload.WriteOpCount(os.Stdout, workload.OpCount(10, nil)))
 		case "fig5":
-			workload.WriteFSC(os.Stdout, getFSC(workload.SindbisSpec()))
+			must(workload.WriteFSC(os.Stdout, getFSC(workload.SindbisSpec())))
 		case "fig6":
-			workload.WriteFSC(os.Stdout, getFSC(workload.ReoSpec()))
+			must(workload.WriteFSC(os.Stdout, getFSC(workload.ReoSpec())))
 		case "fig23":
 			e := getFSC(workload.SindbisSpec())
 			writeSections(*outD, e)
 		case "sliding":
 			e := getFSC(workload.SindbisSpec())
-			workload.WriteSliding(os.Stdout, e.Spec.Name, e.New.PerLevel)
+			must(workload.WriteSliding(os.Stdout, e.Spec.Name, e.New.PerLevel))
 		case "table1":
 			runTiming(workload.SindbisSpec().Scaled(*scale), *p)
 		case "table2":
@@ -97,20 +97,20 @@ func main() {
 			fmt.Printf("paper-scale cycle: refinement %.4g s, reconstruction %.4g s (%.1f%% of cycle; §5 reports <5%%)\n",
 				cb.RefinementSecs, cb.ReconstructionSecs, 100*cb.ReconstructionShare)
 		case "symdetect":
-			workload.WriteSymDetect(os.Stdout, workload.RunSymmetryDetection(32))
+			must(workload.WriteSymDetect(os.Stdout, workload.RunSymmetryDetection(32)))
 		case "depth":
 			spec := workload.SindbisSpec().Scaled(*scale * 1.5)
 			rows, err := workload.DepthStudy(spec)
 			if err != nil {
 				log.Fatal(err)
 			}
-			workload.WriteDepthStudy(os.Stdout, spec, rows)
+			must(workload.WriteDepthStudy(os.Stdout, spec, rows))
 		case "convergence":
 			res, err := workload.RunConvergence(workload.SindbisSpec().Scaled(*scale*1.5), workload.FSCOptions{}, 4)
 			if err != nil {
 				log.Fatal(err)
 			}
-			res.Write(os.Stdout)
+			must(res.Write(os.Stdout))
 			fmt.Printf("converged (Δcc < 0.01 between final cycles): %t\n", res.Converged(0.01))
 		default:
 			log.Fatalf("unknown experiment %q", id)
@@ -119,12 +119,20 @@ func main() {
 	}
 }
 
+// must aborts on a report-write error (the tables are the tool's
+// entire output, so a failed write is fatal).
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
 func runTiming(spec workload.DatasetSpec, p int) {
 	t, err := workload.RunTiming(spec, workload.TimingOptions{P: p})
 	if err != nil {
 		log.Fatal(err)
 	}
-	workload.WriteTiming(os.Stdout, t)
+	must(workload.WriteTiming(os.Stdout, t))
 }
 
 // writeSections exports the Figs. 2/3 artifacts: matched central
@@ -155,7 +163,9 @@ func writeSections(dir string, e *workload.FSCExperiment) {
 		if err := item.m.ZSection(z).WritePGM(f); err != nil {
 			log.Fatal(err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("wrote %s\n", path)
 	}
 }

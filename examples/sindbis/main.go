@@ -35,7 +35,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	workload.WriteFSC(os.Stdout, exp)
+	if err := workload.WriteFSC(os.Stdout, exp); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
-	workload.WriteSliding(os.Stdout, spec.Name, exp.New.PerLevel)
+	if err := workload.WriteSliding(os.Stdout, spec.Name, exp.New.PerLevel); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -22,6 +22,7 @@ func StartProfiles(cpuPath, memPath string) (func() error, error) {
 			return nil, fmt.Errorf("cpu profile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
+			//replint:allow errsink close error is subordinate to the StartCPUProfile error already being returned
 			f.Close()
 			return nil, fmt.Errorf("cpu profile: %w", err)
 		}

@@ -112,11 +112,12 @@ func radialPower(dft *fourier.VolumeDFT, rmax float64) []float64 {
 	dirs := geom.SphereGrid(26)
 	n := int(rmax) + 1
 	power := make([]float64, n)
+	s := dft.NewSampler(fourier.Trilinear)
 	for shell := 0; shell < n; shell++ {
 		f := float64(shell)
 		for _, d := range dirs {
-			axis := d.ViewAxis()
-			v := dft.Sample(axis.Scale(f), fourier.Trilinear)
+			p := d.ViewAxis().Scale(f)
+			v := s.At(p.X, p.Y, p.Z)
 			power[shell] += real(v)*real(v) + imag(v)*imag(v)
 		}
 		power[shell] /= float64(len(dirs))
@@ -229,6 +230,8 @@ func wrapIdx(f, l int) int {
 // per-entry cut weights when present. It is the single cut
 // construction shared by the distance, magnitude and centre-refinement
 // paths, so the metric variants cannot drift from each other.
+//
+//repro:hotpath
 func (m *matcher) sampleCut(cut []complex128, refW []float64, o geom.Euler) {
 	rot := o.Matrix()
 	n := len(cut)
@@ -249,6 +252,8 @@ func (m *matcher) sampleCut(cut []complex128, refW []float64, o geom.Euler) {
 // difference, making the metric insensitive to intensity gain:
 // d = (E_F − ⟨F,C⟩²/E_C)/l². Without it, the paper's raw formula
 // d = Σ w·|F−C|² / l² is used.
+//
+//repro:hotpath
 func (m *matcher) distanceToCut(vd *viewData, cut []complex128) float64 {
 	n := len(cut)
 	energy := vd.prefixE[n]
@@ -282,6 +287,8 @@ func (m *matcher) distanceToCut(vd *viewData, cut []complex128) float64 {
 // distance evaluates d(F, C_s) for the cut at orientation o without
 // materializing anything beyond the scratch cut buffer: the fused
 // sampler writes C over the band prefix and the accumulation follows.
+//
+//repro:hotpath
 func (m *matcher) distance(vd *viewData, o geom.Euler, n int, sc *matchScratch) float64 {
 	cut := sc.cut[:n]
 	m.sampleCut(cut, vd.refW, o)
@@ -293,6 +300,8 @@ func (m *matcher) distance(vd *viewData, o geom.Euler, n int, sc *matchScratch) 
 // orients[i]. Scratch, band layout and metric configuration are set up
 // once per call instead of once per candidate; dst must have length
 // len(orients).
+//
+//repro:hotpath
 func (m *matcher) distanceWindow(vd *viewData, orients []geom.Euler, n int, sc *matchScratch, dst []float64) {
 	cut := sc.cut[:n]
 	for i, o := range orients {
@@ -304,6 +313,8 @@ func (m *matcher) distanceWindow(vd *viewData, orients []geom.Euler, n int, sc *
 // shiftedDistance evaluates the distance between the view shifted by
 // (dx, dy) pixels — applied as a phase ramp on the band coefficients —
 // and a fixed cut (step k's d(E_i, C_µ)).
+//
+//repro:hotpath
 func (m *matcher) shiftedDistance(vd *viewData, cut []complex128, dx, dy float64) float64 {
 	twoPiOverL := 2 * math.Pi / float64(m.l)
 	n := len(cut)
@@ -396,6 +407,8 @@ func viewFFTFlops(l int) float64 {
 // mis-centred view cannot derail it; the subsequent refinement stage
 // recovers the centre and switches back to the full metric. It shares
 // the fused cut construction with the primary metric.
+//
+//repro:hotpath
 func (m *matcher) magDistance(vd *viewData, o geom.Euler, n int, sc *matchScratch) float64 {
 	cut := sc.cut[:n]
 	m.sampleCut(cut, vd.refW, o)

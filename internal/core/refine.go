@@ -140,6 +140,8 @@ func (r *Refiner) refineViewWith(v *View, init geom.Euler, sc *matchScratch) Res
 // are coupled — a mis-centred view biases the orientation search and
 // vice versa — so the level alternates the two until neither moves
 // (at most maxLevelIters rounds).
+//
+//repro:hotpath
 func (r *Refiner) refineLevel(vd *viewData, res *Result, lv Level, sc *matchScratch) LevelStats {
 	const maxLevelIters = 4
 	var st LevelStats
@@ -193,6 +195,7 @@ func (r *Refiner) refineLevel(vd *viewData, res *Result, lv Level, sc *matchScra
 				k := keyOf(o, lv.RAngular)
 				if _, ok := sc.cache[k]; !ok {
 					sc.cache[k] = math.NaN() // claimed; value lands below
+					//replint:allow hotpathalloc sc.pending is worker-owned scratch that reaches steady-state capacity after the first window of a run
 					sc.pending = append(sc.pending, o)
 				}
 			}

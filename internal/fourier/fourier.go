@@ -90,6 +90,8 @@ func NewVolumeDFTPadded(g *volume.Grid, pad int) *VolumeDFT {
 // NewVolumeDFTComplex is the pre-real-path construction of the centred
 // padded spectrum, kept verbatim as the reference implementation for
 // oracle tests of the Hermitian-symmetry route.
+//
+//repro:oracle
 func NewVolumeDFTComplex(g *volume.Grid, pad int) *VolumeDFT {
 	if pad < 1 {
 		panic("fourier: pad must be ≥ 1")
@@ -154,6 +156,12 @@ func (v *VolumeDFT) LowPass(rmax float64) {
 // the view's Nyquist sphere has radius SrcL/2), using the given
 // interpolation. An oversampled spectrum is addressed on its finer
 // lattice transparently. Frequencies beyond Nyquist return zero.
+//
+// Sample is the scalar reference implementation; production sampling
+// goes through the fused Sampler (NewSampler/At/SampleCut), which is
+// bit-identical. Oracle tests hold the two together.
+//
+//repro:oracle
 func (v *VolumeDFT) Sample(f geom.Vec3, interp Interpolation) complex128 {
 	if pad := v.Pad(); pad != 1 {
 		s := float64(pad)
@@ -247,6 +255,7 @@ func (v *VolumeDFT) ExtractSliceInto(dst *volume.CImage, o geom.Euler, rmax floa
 	rmax = math.Min(rmax, float64(l)/2)
 	ri := int(rmax)
 	r2 := rmax * rmax
+	s := v.NewSampler(interp)
 	for h := -ri; h <= ri; h++ {
 		fh := float64(h)
 		for k := -ri; k <= ri; k++ {
@@ -255,7 +264,7 @@ func (v *VolumeDFT) ExtractSliceInto(dst *volume.CImage, o geom.Euler, rmax floa
 				continue
 			}
 			f := xAxis.Scale(fh).Add(yAxis.Scale(fk))
-			val := v.Sample(f, interp)
+			val := s.At(f.X, f.Y, f.Z)
 			dst.Data[wrapFreq(h, l)*l+wrapFreq(k, l)] = val
 		}
 	}
@@ -281,6 +290,8 @@ func ImageDFTInto(dst *volume.CImage, im *volume.Image) {
 
 // ImageDFTComplex is the pre-real-path view transform, kept verbatim
 // as the reference implementation for oracle tests.
+//
+//repro:oracle
 func ImageDFTComplex(im *volume.Image) *volume.CImage {
 	l := im.L
 	c := im.Complex()

@@ -41,6 +41,8 @@ func (v *VolumeDFT) NewSampler(interp Interpolation) Sampler {
 // At samples the spectrum at the continuous signed-frequency point
 // (x, y, z) in image frequency units — the fused equivalent of
 // VolumeDFT.Sample. Frequencies beyond Nyquist return zero.
+//
+//repro:hotpath
 func (s *Sampler) At(x, y, z float64) complex128 {
 	x *= s.pad
 	y *= s.pad
@@ -125,6 +127,8 @@ func (s *Sampler) trilinear(x, y, z float64) complex128 {
 // kernel of the matcher: one call per candidate orientation, with all
 // lattice constants and rotation columns held in registers across the
 // band loop. fh and fk must be at least len(dst) long.
+//
+//repro:hotpath
 func (s *Sampler) SampleCut(dst []complex128, fh, fk []float64, xAxis, yAxis geom.Vec3) {
 	xx, xy, xz := xAxis.X, xAxis.Y, xAxis.Z
 	yx, yy, yz := yAxis.X, yAxis.Y, yAxis.Z

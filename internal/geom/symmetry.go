@@ -137,6 +137,9 @@ func closure(name string, gens ...Mat3) *Group {
 	seen := map[[9]int32]Mat3{}
 	id := Identity3()
 	seen[matKey(id)] = id
+	// Collect keys at insert time — frontier order is deterministic,
+	// while ranging over the map afterwards would not be.
+	keys := [][9]int32{matKey(id)}
 	frontier := []Mat3{id}
 	for len(frontier) > 0 {
 		var next []Mat3
@@ -146,6 +149,7 @@ func closure(name string, gens ...Mat3) *Group {
 				k := matKey(p)
 				if _, ok := seen[k]; !ok {
 					seen[k] = p
+					keys = append(keys, k)
 					next = append(next, p)
 				}
 			}
@@ -154,10 +158,6 @@ func closure(name string, gens ...Mat3) *Group {
 		if len(seen) > 1000 {
 			panic("geom: group closure did not converge (generators not a finite group?)")
 		}
-	}
-	keys := make([][9]int32, 0, len(seen))
-	for k := range seen {
-		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(a, b int) bool {
 		ka, kb := keys[a], keys[b]

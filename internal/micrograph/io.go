@@ -19,39 +19,46 @@ import (
 //	orientations.txt    one line per view: θ φ ω dx dy group defocusA
 //	meta.txt            box size, pixel size, view count, ctf flag
 
+// writeFile creates path, hands the open file to fn, and closes it,
+// returning the first error. A failed Close after a clean write still
+// fails the caller: buffered data may never have reached disk, and a
+// dataset that silently lost its tail is worse than no dataset.
+func writeFile(path string, fn func(*os.File) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return fn(f)
+}
+
 // Save writes the dataset under dir, creating it if needed.
 func (ds *Dataset) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	tf, err := os.Create(filepath.Join(dir, "truth.map"))
+	err := writeFile(filepath.Join(dir, "truth.map"), func(f *os.File) error {
+		_, err := ds.Truth.WriteTo(f)
+		return err
+	})
 	if err != nil {
-		return err
-	}
-	if _, err := ds.Truth.WriteTo(tf); err != nil {
-		tf.Close()
-		return err
-	}
-	if err := tf.Close(); err != nil {
 		return err
 	}
 
-	vf, err := os.Create(filepath.Join(dir, "views.dat"))
-	if err != nil {
-		return err
-	}
-	bw := bufio.NewWriter(vf)
-	for _, v := range ds.Views {
-		if _, err := v.Image.WriteTo(bw); err != nil {
-			vf.Close()
-			return err
+	err = writeFile(filepath.Join(dir, "views.dat"), func(f *os.File) error {
+		bw := bufio.NewWriter(f)
+		for _, v := range ds.Views {
+			if _, err := v.Image.WriteTo(bw); err != nil {
+				return err
+			}
 		}
-	}
-	if err := bw.Flush(); err != nil {
-		vf.Close()
-		return err
-	}
-	if err := vf.Close(); err != nil {
+		return bw.Flush()
+	})
+	if err != nil {
 		return err
 	}
 
@@ -82,7 +89,9 @@ func Load(dir string) (*Dataset, error) {
 		return nil, err
 	}
 	truth, err := volume.ReadGrid(tf)
-	tf.Close()
+	if cerr := tf.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -111,45 +120,42 @@ func Load(dir string) (*Dataset, error) {
 // orientation-file format (the analogue of the paper's O^init /
 // O^refined files).
 func WriteOrientations(path string, views []*View) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	bw := bufio.NewWriter(f)
-	fmt.Fprintln(bw, "# theta phi omega dx dy group defocusA")
-	for _, v := range views {
-		fmt.Fprintf(bw, "%.17g %.17g %.17g %.17g %.17g %d %.17g\n",
-			v.TrueOrient.Theta, v.TrueOrient.Phi, v.TrueOrient.Omega,
-			v.TrueCenter[0], v.TrueCenter[1], v.Group, v.CTF.DefocusA)
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return writeFile(path, func(f *os.File) error {
+		bw := bufio.NewWriter(f)
+		if _, err := fmt.Fprintln(bw, "# theta phi omega dx dy group defocusA"); err != nil {
+			return err
+		}
+		for _, v := range views {
+			if _, err := fmt.Fprintf(bw, "%.17g %.17g %.17g %.17g %.17g %d %.17g\n",
+				v.TrueOrient.Theta, v.TrueOrient.Phi, v.TrueOrient.Omega,
+				v.TrueCenter[0], v.TrueCenter[1], v.Group, v.CTF.DefocusA); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	})
 }
 
 // WriteOrientationList writes plain orientations (e.g. refined ones)
 // one per line.
 func WriteOrientationList(path string, orients []geom.Euler, centers [][2]float64) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	bw := bufio.NewWriter(f)
-	fmt.Fprintln(bw, "# theta phi omega dx dy")
-	for i, o := range orients {
-		var c [2]float64
-		if centers != nil {
-			c = centers[i]
+	return writeFile(path, func(f *os.File) error {
+		bw := bufio.NewWriter(f)
+		if _, err := fmt.Fprintln(bw, "# theta phi omega dx dy"); err != nil {
+			return err
 		}
-		fmt.Fprintf(bw, "%.17g %.17g %.17g %.17g %.17g\n", o.Theta, o.Phi, o.Omega, c[0], c[1])
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+		for i, o := range orients {
+			var c [2]float64
+			if centers != nil {
+				c = centers[i]
+			}
+			if _, err := fmt.Fprintf(bw, "%.17g %.17g %.17g %.17g %.17g\n",
+				o.Theta, o.Phi, o.Omega, c[0], c[1]); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	})
 }
 
 // ReadOrientationList reads a file written by WriteOrientationList.

@@ -138,12 +138,14 @@ func RunConvergence(spec DatasetSpec, opt FSCOptions, maxCycles int) (*Convergen
 }
 
 // WriteConvergence renders the per-cycle trajectory.
-func (c *ConvergenceResult) Write(w interface{ Write([]byte) (int, error) }) {
-	fmt.Fprintf(w, "refinement convergence, %s (%d views of %d px)\n",
+func (c *ConvergenceResult) Write(w interface{ Write([]byte) (int, error) }) error {
+	pr := &printer{w: w}
+	pr.printf("refinement convergence, %s (%d views of %d px)\n",
 		c.Spec.Name, c.Spec.NumViews, c.Spec.L)
-	fmt.Fprintf(w, "%6s %12s %10s %12s %12s\n", "cycle", "res (Å)", "truth cc", "ang err (°)", "cen err (px)")
+	pr.printf("%6s %12s %10s %12s %12s\n", "cycle", "res (Å)", "truth cc", "ang err (°)", "cen err (px)")
 	for _, cy := range c.Cycles {
-		fmt.Fprintf(w, "%6d %12.2f %10.4f %12.3f %12.3f\n",
+		pr.printf("%6d %12.2f %10.4f %12.3f %12.3f\n",
 			cy.Cycle, cy.ResolutionA, cy.TruthCC, cy.MeanAngErr, cy.MeanCenErr)
 	}
+	return pr.err
 }

@@ -1,7 +1,6 @@
 package workload
 
 import (
-	"fmt"
 	"io"
 	"math"
 
@@ -85,12 +84,14 @@ func DepthStudy(spec DatasetSpec) ([]DepthRow, error) {
 }
 
 // WriteDepthStudy renders the §5-question table.
-func WriteDepthStudy(w io.Writer, spec DatasetSpec, rows []DepthRow) {
-	fmt.Fprintf(w, "§5 question — schedule depth study, %s (refined against ground truth)\n", spec.Name)
-	fmt.Fprintf(w, "%8s %12s %12s %14s %12s %16s\n",
+func WriteDepthStudy(w io.Writer, spec DatasetSpec, rows []DepthRow) error {
+	pr := &printer{w: w}
+	pr.printf("§5 question — schedule depth study, %s (refined against ground truth)\n", spec.Name)
+	pr.printf("%8s %12s %12s %14s %12s %16s\n",
 		"levels", "finest (°)", "ang err (°)", "cen err (px)", "res (Å)", "matchings/view")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%8d %12.4g %12.3f %14.3f %12.2f %16.0f\n",
+		pr.printf("%8d %12.4g %12.3f %14.3f %12.2f %16.0f\n",
 			r.Levels, r.FinestDeg, r.MeanAngErr, r.MeanCenErr, r.ResolutionA, r.MatchingsPerView)
 	}
+	return pr.err
 }
