@@ -1,0 +1,106 @@
+// Command replint runs the project lint suite (internal/analysis)
+// over the module: five analyzers that mechanically enforce the
+// repository's determinism, oracle-separation and hot-path invariants.
+//
+// Usage:
+//
+//	replint [-json] [-list] [./...]
+//
+// With no arguments (or "./...") the whole module containing the
+// current directory is analyzed. Findings print as
+//
+//	file:line:col: [analyzer] message
+//
+// and the exit status is 1 when any survive suppression, so the
+// command gates CI directly. -json emits the findings as a JSON array
+// instead; -list prints the suite and exits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	list := flag.Bool("list", false, "list the analyzers of the suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	findings, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		type jsonFinding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+				Analyzer: f.Analyzer, Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "replint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			rel := f.Pos.Filename
+			if wd, err := os.Getwd(); err == nil {
+				if r, err := filepath.Rel(wd, f.Pos.Filename); err == nil {
+					rel = r
+				}
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func run() ([]analysis.Finding, error) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := analysis.ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := analysis.NewLoader(root, modPath)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(loader.Fset, pkgs, analysis.All(), analysis.DefaultConfig()), nil
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotpathAlloc enforces the 0-alloc contract of the matching kernels:
+// a function tagged //repro:hotpath sits inside the per-candidate or
+// per-coefficient loops (the >99% of wall time the paper attributes to
+// matching), where a single per-call allocation multiplies into
+// millions of allocations per refinement pass. Within a tagged
+// function the analyzer rejects
+//
+//   - append whose destination was not made with an explicit capacity
+//     in the same function (growth ⇒ realloc+copy in the loop),
+//   - composite literals that escape (&T{...}) and slice/map literals,
+//   - numeric slices passed to interface parameters (the conversion
+//     boxes the slice header on the heap — the classic fmt leak),
+//   - function literals capturing loop variables (each iteration
+//     allocates a closure).
+//
+// Amortized-growth scratch that a human has verified reaches a steady
+// state is waived with //replint:allow hotpathalloc <reason>.
+var HotpathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "//repro:hotpath functions may not allocate per call: no growing append, " +
+		"no escaping composite literals, no numeric-slice→interface conversions, " +
+		"no closures over loop variables",
+	Run: runHotpathAlloc,
+}
+
+func runHotpathAlloc(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, hot := pass.Facts.Hotpath[info.Defs[fd.Name]]; !hot {
+				continue
+			}
+			checkHotpathFunc(pass, fd)
+		}
+	}
+}
+
+func checkHotpathFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	capped := cappedLocals(info, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinAppend(info, e) && len(e.Args) > 0 {
+				if obj := sliceRootObject(info, e.Args[0]); obj == nil || !capped[obj] {
+					pass.Reportf(e.Pos(), "append in hot path without a same-function make(..., cap): growth reallocates inside the kernel loop")
+				}
+			}
+			checkInterfaceArgs(pass, e)
+		case *ast.UnaryExpr:
+			if e.Op.String() == "&" {
+				if _, ok := e.X.(*ast.CompositeLit); ok {
+					pass.Reportf(e.Pos(), "&composite literal escapes to the heap in a hot path")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[e]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(e.Pos(), "slice/map literal allocates in a hot path; hoist it to setup or scratch state")
+				}
+			}
+		case *ast.ForStmt:
+			checkLoopClosures(pass, loopVarObjects(info, e.Init), e.Body)
+		case *ast.RangeStmt:
+			checkLoopClosures(pass, rangeVarObjects(info, e), e.Body)
+		}
+		return true
+	})
+}
+
+// cappedLocals collects the objects of local slices created by a
+// three-argument make anywhere in the function — the only destinations
+// append may grow into without tripping the analyzer.
+func cappedLocals(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || len(call.Args) != 3 {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "make" {
+					if lid, ok := as.Lhs[i].(*ast.Ident); ok {
+						if obj := info.Defs[lid]; obj != nil {
+							out[obj] = true
+						} else if obj := info.Uses[lid]; obj != nil {
+							out[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sliceRootObject resolves the identifier at the root of an append
+// destination: plain `x` or resliced `x[:0]`.
+func sliceRootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return info.Uses[v]
+		case *ast.SliceExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkInterfaceArgs flags numeric slices converted to interface
+// parameters (incl. variadic ...interface{}).
+func checkInterfaceArgs(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	ftv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := ftv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		atv, ok := info.Types[arg]
+		if !ok {
+			continue
+		}
+		if sl, ok := atv.Type.Underlying().(*types.Slice); ok && isFloatOrComplex(sl.Elem()) {
+			pass.Reportf(arg.Pos(), "numeric slice passed to interface parameter boxes the slice header on the heap in a hot path")
+		}
+	}
+}
+
+func loopVarObjects(info *types.Info, init ast.Stmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if as, ok := init.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func rangeVarObjects(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkLoopClosures reports function literals inside a loop body that
+// capture that loop's variables.
+func checkLoopClosures(pass *Pass, loopVars map[types.Object]bool, body *ast.BlockStmt) {
+	if len(loopVars) == 0 {
+		return
+	}
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		captures := false
+		ast.Inspect(fl.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && loopVars[info.Uses[id]] {
+				captures = true
+			}
+			return !captures
+		})
+		if captures {
+			pass.Reportf(fl.Pos(), "closure over loop variable allocates every iteration in a hot path")
+		}
+		return false // nested literals are covered by the outer report
+	})
+}

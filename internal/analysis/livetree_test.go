@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"os"
+	"testing"
+)
+
+// TestLiveTreeClean runs the full suite over the real module — the same
+// invocation as `go run ./cmd/replint ./...` — and requires it to come
+// back empty. This is the gate that keeps the production tree honest:
+// any new violation must either be fixed or carry a reasoned
+// //replint:allow before tests pass.
+func TestLiveTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modPath, err := ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root, modPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(loader.Fset, pkgs, All(), DefaultConfig())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

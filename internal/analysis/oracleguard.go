@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// OracleGuard keeps the reference implementations ("oracles") out of
+// production code. PR 1 and PR 2 replaced the complex-FFT and
+// scalar-sampling paths with fused/real-input equivalents but kept the
+// originals — NewVolumeDFTComplex, ImageDFTComplex, VolumeDFT.Sample —
+// as the ground truth that equivalence tests compare against. An
+// oracle that leaks back into a production call chain silently
+// forfeits the speedup and, worse, stops being an independent check.
+// A declaration opts in with a //repro:oracle directive; references
+// are then legal only from _test.go files or from other oracle-tagged
+// declarations.
+var OracleGuard = &Analyzer{
+	Name: "oracleguard",
+	Doc: "declarations tagged //repro:oracle are test-only reference implementations; " +
+		"production code must call the fused/real-input equivalents",
+	Run: runOracleGuard,
+}
+
+func runOracleGuard(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil || !pass.Facts.Oracle[obj] {
+				return true
+			}
+			if fd := enclosingFuncDecl(file, id.Pos()); fd != nil {
+				if _, tagged := pass.Facts.OracleDecls[fd]; tagged {
+					return true // oracles may build on each other
+				}
+			}
+			pass.Reportf(id.Pos(), "%s is a //repro:oracle reference implementation; only _test.go files and other oracles may use it", obj.Name())
+			return true
+		})
+	}
+}

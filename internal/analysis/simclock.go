@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Simclock enforces the determinism contract of the simulated-cluster
+// packages (PR 2): every duration in internal/parfft, internal/cluster
+// and internal/core must come from the rank-ordered simulated clock
+// (cluster.Node.Clock/Compute/Sleep), and every random draw from an
+// explicitly seeded source — so wall-clock time and the global
+// math/rand state, both of which vary run to run and with GOMAXPROCS,
+// are banned outright.
+var Simclock = &Analyzer{
+	Name: "simclock",
+	Doc: "wall-clock time (time.Now/Since/...) and global math/rand are banned in " +
+		"simulated-clock packages; use cluster.Node clocks and seeded rand.New sources",
+	Run: runSimclock,
+}
+
+// forbiddenTimeFuncs are the wall-clock entry points of package time.
+// Pure constructors/parsers (time.Duration, time.Parse, ...) stay
+// legal.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRandFuncs are the package-level math/rand functions that do
+// not touch the global source.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 seeded constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runSimclock(pass *Pass) {
+	if !pass.Config.matches(pass.Config.SimclockPaths, pass.Pkg.Path) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil { // methods (e.g. rand.Rand.Float64) are fine
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if forbiddenTimeFuncs[fn.Name()] {
+					pass.Reportf(id.Pos(), "time.%s reads the wall clock; simulated-clock packages must charge cluster.Node time instead", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[fn.Name()] {
+					pass.Reportf(id.Pos(), "rand.%s draws from the global source; use an explicitly seeded rand.New(rand.NewSource(...))", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

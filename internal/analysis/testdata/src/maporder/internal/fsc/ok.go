@@ -1,0 +1,24 @@
+package fsc
+
+import "sort"
+
+// CountShells only counts — integer bookkeeping over a map range is
+// order-insensitive and stays legal.
+func CountShells(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SortedSum is the compliant accumulation shape: iterate a sorted key
+// slice, not the map.
+func SortedSum(m map[int]float64, keys []int) float64 {
+	sort.Ints(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}

@@ -1,0 +1,30 @@
+// Package fsc is a maporder fixture: its import path contains
+// "internal/fsc", one of the numeric packages where map-iteration
+// order must not influence results.
+package fsc
+
+// SumShells accumulates floats in map order — the sum's rounding
+// differs run to run.
+func SumShells(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want maporder "float accumulation inside a map range"
+	}
+	return total
+}
+
+// Keys builds a slice in map order.
+func Keys(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want maporder "slice append inside a map range"
+	}
+	return keys
+}
+
+// Stream sends in map order.
+func Stream(m map[int]float64, ch chan float64) {
+	for _, v := range m {
+		ch <- v // want maporder "channel send inside a map range"
+	}
+}

@@ -1,0 +1,13 @@
+// Package pkgother is outside the configured numeric paths, so the
+// accumulation sum.go flags is legal here.
+package pkgother
+
+// SumShells may accumulate in map order: this package makes no
+// bit-reproducibility promise.
+func SumShells(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,56 @@
+// Package lib is an oracleguard fixture: SlowSpectrum registers as an
+// oracle, so only _test.go files and other oracles may reference it.
+package lib
+
+// SlowSpectrum is the reference construction kept for equivalence
+// tests.
+//
+//repro:oracle
+func SlowSpectrum(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+// SlowPower builds on the reference path; oracle→oracle references are
+// legal.
+//
+//repro:oracle
+func SlowPower(n int) float64 {
+	var total float64
+	for _, v := range SlowSpectrum(n) {
+		total += v * v
+	}
+	return total
+}
+
+// FastSpectrum is the production equivalent.
+func FastSpectrum(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+// Pipeline wrongly reaches for the oracle in production code.
+func Pipeline(n int) float64 {
+	s := SlowSpectrum(n) // want oracleguard "SlowSpectrum is a //repro:oracle reference implementation"
+	var total float64
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+// CleanPipeline is the compliant shape, calling the production path.
+func CleanPipeline(n int) float64 {
+	s := FastSpectrum(n)
+	var total float64
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,20 @@
+// Package core exercises the suppression machinery: a well-formed
+// //replint:allow waives the finding on the next line, a reason-less
+// one is itself reported and waives nothing.
+package core
+
+import "time"
+
+// Stamp is properly suppressed: analyzer name plus a written reason.
+func Stamp() int64 {
+	//replint:allow simclock fixture demonstrates a reasoned waiver
+	return time.Now().UnixNano()
+}
+
+// BadStamp carries a malformed suppression (no reason), which is
+// reported as a finding of the pseudo-analyzer "suppression" and does
+// not waive the simclock finding below it.
+func BadStamp() int64 {
+	//replint:allow simclock
+	return time.Now().UnixNano()
+}
