@@ -19,6 +19,7 @@ import (
 	"repro/internal/fsc"
 	"repro/internal/geom"
 	"repro/internal/micrograph"
+	"repro/internal/obs"
 	"repro/internal/phantom"
 	"repro/internal/reconstruct"
 	"repro/internal/volume"
@@ -510,6 +511,28 @@ func BenchmarkMatchKernel(b *testing.B) {
 	}
 	_ = acc
 	b.ReportMetric(float64(r.BandSize()), "band")
+}
+
+// BenchmarkMatchKernelInstrumented is BenchmarkMatchKernel with full
+// instrumentation enabled: the obs counters inside the kernel
+// (sampler cut calls, distance evaluations) fire on every op, and the
+// benchmark asserts the kernel still runs at 0 allocs/op — the
+// pooled/atomic design's contract.
+func BenchmarkMatchKernelInstrumented(b *testing.B) {
+	r, pv, o := matchKernelSetup(b)
+	prev := obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += r.Distance(pv, o)
+	}
+	_ = acc
+	b.StopTimer()
+	if n := testing.AllocsPerRun(100, func() { acc += r.Distance(pv, o) }); n != 0 {
+		b.Fatalf("instrumented match kernel allocates %v/op, want 0", n)
+	}
 }
 
 // BenchmarkDistanceWindow times the batched sliding-window evaluation:

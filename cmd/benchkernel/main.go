@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"testing"
 
 	"repro/internal/benchutil"
@@ -27,13 +26,15 @@ import (
 	"repro/internal/phantom"
 )
 
-// Report is the schema of BENCH_kernel.json.
+// Report is the schema of BENCH_kernel.json. SchemaVersion covers the
+// shared envelope (schema_version + run_meta); the measurement fields
+// may grow between PRs.
 type Report struct {
-	GoVersion  string `json:"go_version"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	L          int    `json:"l"`
-	Pad        int    `json:"pad"`
-	BandSize   int    `json:"band_size"`
+	SchemaVersion int               `json:"schema_version"`
+	RunMeta       benchutil.RunMeta `json:"run_meta"`
+	L             int               `json:"l"`
+	Pad           int               `json:"pad"`
+	BandSize      int               `json:"band_size"`
 
 	NsPerMatch     float64 `json:"ns_per_match"`
 	MatchesPerSec  float64 `json:"matches_per_sec"`
@@ -49,11 +50,11 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "BENCH_kernel.json", "output path")
-	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
-	memprofile := flag.String("memprofile", "", "write heap profile to file")
+	var of benchutil.Flags
+	of.Register(flag.CommandLine)
 	flag.Parse()
 
-	stopProf, err := benchutil.StartProfiles(*cpuprofile, *memprofile)
+	stopObs, err := of.Start()
 	if err != nil {
 		fatal(err)
 	}
@@ -74,11 +75,11 @@ func main() {
 	}
 
 	rep := Report{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		L:          l,
-		Pad:        pad,
-		BandSize:   r.BandSize(),
+		SchemaVersion: benchutil.BenchSchemaVersion,
+		RunMeta:       benchutil.CurrentRunMeta(),
+		L:             l,
+		Pad:           pad,
+		BandSize:      r.BandSize(),
 	}
 
 	match := testing.Benchmark(func(b *testing.B) {
@@ -122,7 +123,7 @@ func main() {
 	rep.NsPerRefineView = float64(refine.NsPerOp())
 	rep.RefineFinalErrDeg = finalErr
 
-	if err := stopProf(); err != nil {
+	if err := stopObs(); err != nil {
 		fatal(err)
 	}
 

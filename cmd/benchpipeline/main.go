@@ -32,13 +32,15 @@ import (
 	"repro/internal/volume"
 )
 
-// Report is the schema of BENCH_pipeline.json.
+// Report is the schema of BENCH_pipeline.json. SchemaVersion covers
+// the shared envelope (schema_version + run_meta); the measurement
+// fields may grow between PRs.
 type Report struct {
-	GoVersion  string `json:"go_version"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	L          int    `json:"l"`
-	Pad        int    `json:"pad"`
-	Views      int    `json:"views"`
+	SchemaVersion int               `json:"schema_version"`
+	RunMeta       benchutil.RunMeta `json:"run_meta"`
+	L             int               `json:"l"`
+	Pad           int               `json:"pad"`
+	Views         int               `json:"views"`
 
 	// 3-D transform of the padded map (pad·l per side).
 	NsDFT3DComplex  float64 `json:"ns_dft3d_complex"`
@@ -70,11 +72,11 @@ type Report struct {
 func main() {
 	out := flag.String("o", "BENCH_pipeline.json", "output path")
 	views := flag.Int("views", 24, "number of views to stream")
-	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
-	memprofile := flag.String("memprofile", "", "write heap profile to file")
+	var of benchutil.Flags
+	of.Register(flag.CommandLine)
 	flag.Parse()
 
-	stopProf, err := benchutil.StartProfiles(*cpuprofile, *memprofile)
+	stopObs, err := of.Start()
 	if err != nil {
 		fatal(err)
 	}
@@ -85,11 +87,11 @@ func main() {
 	ds := micrograph.Generate(truth, micrograph.GenParams{NumViews: *views, PixelA: 2.5, Seed: 2})
 
 	rep := Report{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		L:          l,
-		Pad:        pad,
-		Views:      *views,
+		SchemaVersion: benchutil.BenchSchemaVersion,
+		RunMeta:       benchutil.CurrentRunMeta(),
+		L:             l,
+		Pad:           pad,
+		Views:         *views,
 	}
 
 	// --- 3-D map transform: complex oracle vs Hermitian real path.
@@ -190,7 +192,7 @@ func main() {
 	rep.StreamRefiners = refW
 	rep.StreamDepth = depth
 
-	if err := stopProf(); err != nil {
+	if err := stopObs(); err != nil {
 		fatal(err)
 	}
 

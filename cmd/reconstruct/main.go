@@ -6,6 +6,7 @@
 // Usage:
 //
 //	reconstruct -data data/sindbis -orients refined.txt -out map.vol [-sections dir]
+//	            [-metrics -] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/benchutil"
 	"repro/internal/ctf"
 	"repro/internal/micrograph"
 	"repro/internal/reconstruct"
@@ -31,10 +33,16 @@ func main() {
 		sections = flag.String("sections", "", "directory for PGM cross-sections (optional)")
 		truthCC  = flag.Bool("truthcc", true, "report correlation against the ground-truth map")
 	)
+	var of benchutil.Flags
+	of.Register(flag.CommandLine)
 	flag.Parse()
 	if *data == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	stopObs, err := of.Start()
+	if err != nil {
+		log.Fatal(err)
 	}
 	ds, err := micrograph.Load(*data)
 	if err != nil {
@@ -99,5 +107,8 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", path)
 		}
+	}
+	if err := stopObs(); err != nil {
+		log.Fatal(err)
 	}
 }

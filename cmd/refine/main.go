@@ -4,9 +4,19 @@
 // algorithm expects, refines them against the reference map, and
 // writes the refined orientation file plus an error report.
 //
+// With -p N the whole pass runs on the simulated N-node cluster — the
+// parallel slab DFT of the map (steps a.1–a.6) followed by the
+// distributed refinement (steps b–o) — and reports the simulated step
+// times. With -trace the simulated timeline is written as a Chrome
+// trace_event file (open in chrome://tracing or ui.perfetto.dev);
+// tracing implies -p 4 unless -p is given, since the timeline renders
+// the simulated cluster clock.
+//
 // Usage:
 //
-//	refine -data data/sindbis -out refined.txt [-init-err 2] [-levels 4] [-p 0]
+//	refine -data data/sindbis -out refined.txt [-init-err 2] [-levels 4]
+//	       [-p 0] [-trace refine.trace.json] [-metrics -]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -16,11 +26,16 @@ import (
 	"math"
 	"os"
 
+	"repro/internal/benchutil"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ctf"
 	"repro/internal/fourier"
 	"repro/internal/geom"
 	"repro/internal/micrograph"
+	"repro/internal/obs"
+	"repro/internal/parfft"
+	"repro/internal/volume"
 )
 
 func main() {
@@ -34,11 +49,21 @@ func main() {
 		workers = flag.Int("workers", 0, "refinement goroutines (0 = GOMAXPROCS)")
 		pad     = flag.Int("pad", 2, "Fourier oversampling of the reference map")
 		seed    = flag.Int64("seed", 7, "seed for the initial-orientation perturbation")
+		nodes   = flag.Int("p", 0, "simulated cluster nodes (0 = shared-memory path; -trace defaults to 4)")
 	)
+	var of benchutil.Flags
+	of.Register(flag.CommandLine)
 	flag.Parse()
 	if *data == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *nodes == 0 && of.Trace != "" {
+		*nodes = 4
+	}
+	stopObs, err := of.Start()
+	if err != nil {
+		log.Fatal(err)
 	}
 	ds, err := micrograph.Load(*data)
 	if err != nil {
@@ -48,7 +73,6 @@ func main() {
 		log.Fatalf("levels must be 1..4, got %d", *levels)
 	}
 
-	dft := fourier.NewVolumeDFTPadded(ds.Truth, *pad)
 	cfg := core.DefaultConfig(ds.L)
 	cfg.Schedule = core.DefaultSchedule()[:*levels]
 	if ds.HasCTF {
@@ -56,23 +80,29 @@ func main() {
 		cfg.CTFMode = ctf.PhaseFlip
 		cfg.CTFWeightCuts = true
 	}
-	r, err := core.NewRefiner(dft, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	inits := ds.PerturbedOrientations(*initErr, *seed)
-	views := make([]*core.View, len(ds.Views))
-	for i, v := range ds.Views {
-		pv, err := r.PrepareView(v.Image, v.CTF)
+
+	var results []core.Result
+	if *nodes > 0 {
+		results = refineOnCluster(ds, cfg, inits, *nodes, *pad)
+	} else {
+		dft := fourier.NewVolumeDFTPadded(ds.Truth, *pad)
+		r, err := core.NewRefiner(dft, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		views[i] = pv
-	}
-	results, err := r.RefineAll(views, inits, *workers)
-	if err != nil {
-		log.Fatal(err)
+		views := make([]*core.View, len(ds.Views))
+		for i, v := range ds.Views {
+			pv, err := r.PrepareView(v.Image, v.CTF)
+			if err != nil {
+				log.Fatal(err)
+			}
+			views[i] = pv
+		}
+		results, err = r.RefineAll(views, inits, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	orients := make([]geom.Euler, len(results))
@@ -97,4 +127,74 @@ func main() {
 	fmt.Printf("mean angular error: %.4f° -> %.4f°\n", angBefore/n, angAfter/n)
 	fmt.Printf("mean centre error after refinement: %.4f px\n", cenAfter/n)
 	fmt.Printf("matchings per view: %.0f   window slides total: %d\n", float64(matchings)/n, slides)
+	if err := stopObs(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// refineOnCluster runs steps a–o on the simulated cluster: the slab
+// DFT of the (padded) map, then the distributed refinement pass. The
+// two phases are laid end-to-end on the trace timeline, and the
+// parfft stage spans are reconciled against the cluster's own
+// per-node totals before the trace is written.
+func refineOnCluster(ds *micrograph.Dataset, cfg core.Config, inits []geom.Euler, p, pad int) []core.Result {
+	cl := cluster.New(p, cluster.SP2)
+	opt := core.DefaultParallelOptions()
+	readSecs := 0.0
+	if opt.ReadBytesPerSec > 0 {
+		// The master reads the l³ map at the modeled sequential rate
+		// (4-byte voxels).
+		readSecs = float64(ds.L*ds.L*ds.L*4) / opt.ReadBytesPerSec
+	}
+	ft := parfft.Transform3DPadded(cl, ds.Truth, pad, readSecs)
+	opt.DFT3DSecs = ft.Elapsed
+	if tr := obs.ActiveTrace(); tr != nil {
+		reconcileParfftSpans(tr, ft.Stats)
+		// Start the refinement phase where the slab DFT ended.
+		tr.SetTimeOffset(ft.Elapsed)
+	}
+
+	r, err := core.NewRefiner(ft.DFT, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	images := make([]*volume.Image, len(ds.Views))
+	ctfs := make([]ctf.Params, len(ds.Views))
+	for i, v := range ds.Views {
+		images[i] = v.Image
+		ctfs[i] = v.CTF
+	}
+	results, times, err := r.RefineOnCluster(cl, images, ctfs, inits, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %d-node step times (s): dft3d %.3f  read %.3f  fft %.3f  refine %.3f  total %.3f\n",
+		p, times.DFT3D, times.ReadImages, times.FFTAnalysis, times.Refinement, times.Total)
+	return results
+}
+
+// reconcileParfftSpans checks that the per-node parfft stage spans tile
+// the simulated clock exactly: their durations sum to the node's
+// reported Elapsed. The stage marks telescope, so the identity is
+// exact, not approximate — any drift means the instrumentation lost a
+// clock charge.
+func reconcileParfftSpans(tr *obs.Trace, stats []cluster.Stats) {
+	sums := make(map[int]float64)
+	for _, e := range tr.Events() {
+		if e.Cat == "parfft" && e.Phase == "X" {
+			sums[e.Pid] += e.End - e.Start
+		}
+	}
+	maxDelta := 0.0
+	for _, st := range stats {
+		d := math.Abs(sums[st.Rank] - st.Elapsed)
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+	fmt.Printf("trace: parfft stage spans vs cluster totals: max |Δ| = %.3g s over %d nodes\n",
+		maxDelta, len(stats))
+	if maxDelta > 1e-9 {
+		log.Fatalf("trace reconciliation failed: parfft spans drift %.3g s from cluster totals", maxDelta)
+	}
 }

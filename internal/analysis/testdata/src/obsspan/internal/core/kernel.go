@@ -1,0 +1,50 @@
+// Package core is the obsspan fixture: its import path contains
+// "internal/core", so simclock is in force, and MatchKernel carries
+// the //repro:hotpath tag. Together they pin the instrumentation
+// contract — the pooled-span + counter pattern is allocation-compliant
+// inside tagged kernels (asserted by the absence of want comments),
+// while feeding spans from the wall clock stays banned in simulated
+// packages.
+package core
+
+import (
+	"time"
+
+	"obs"
+)
+
+var distanceEvals obs.Counter
+
+// MatchKernel is the instrumented hot path: a pooled span brackets the
+// candidate loop and an atomic counter bumps per evaluation. The span
+// start/end come in as simulated-clock readings.
+//
+//repro:hotpath
+func MatchKernel(simStart, simEnd float64, xs []float64) float64 {
+	sp := obs.StartSpan("match", simStart)
+	var best float64
+	for i := 0; i < len(xs); i++ {
+		distanceEvals.Inc()
+		if xs[i] > best {
+			best = xs[i]
+		}
+	}
+	sp.SetArg("evals", int64(len(xs)))
+	sp.End(simEnd)
+	return best
+}
+
+// WallClockSpan times an obs span with the wall clock — exactly the
+// violation simclock exists to catch: instrumentation must read the
+// simulated clock, never real time, or timings stop being
+// reproducible.
+func WallClockSpan(xs []float64) float64 {
+	start := time.Now() // want simclock "time.Now reads the wall clock"
+	sp := obs.StartSpan("sum", 0)
+	var total float64
+	for _, v := range xs {
+		total += v
+	}
+	sp.End(time.Since(start).Seconds()) // want simclock "time.Since reads the wall clock"
+	return total
+}

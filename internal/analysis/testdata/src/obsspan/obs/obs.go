@@ -1,0 +1,54 @@
+// Package obs is a miniature of the real instrumentation package:
+// pooled span handles and an atomic counter, exactly the shapes the
+// production kernels use. Its import path is "obs" — outside the
+// simulated-clock scope, as the real package is.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonic atomic counter.
+type Counter struct{ v int64 }
+
+func (c *Counter) Inc()         { atomic.AddInt64(&c.v, 1) }
+func (c *Counter) Add(d int64)  { atomic.AddInt64(&c.v, d) }
+func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.v) }
+
+// SpanHandle is a pooled in-flight span. All methods are nil-safe so
+// callers need no branch when tracing is off.
+type SpanHandle struct {
+	name  string
+	start float64
+	key   string
+	val   int64
+}
+
+var spanPool = sync.Pool{New: func() interface{} { return new(SpanHandle) }}
+
+// StartSpan draws a handle from the pool; the caller recycles it by
+// calling End.
+func StartSpan(name string, start float64) *SpanHandle {
+	sp := spanPool.Get().(*SpanHandle)
+	sp.name, sp.start = name, start
+	return sp
+}
+
+// SetArg attaches one key/value pair.
+func (sp *SpanHandle) SetArg(key string, v int64) {
+	if sp == nil {
+		return
+	}
+	sp.key, sp.val = key, v
+}
+
+// End closes the span and returns the handle to the pool.
+func (sp *SpanHandle) End(end float64) {
+	if sp == nil {
+		return
+	}
+	_ = end
+	*sp = SpanHandle{}
+	spanPool.Put(sp)
+}

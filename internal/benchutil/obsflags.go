@@ -1,0 +1,130 @@
+package benchutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Flags is the observability and profiling flag set shared by all four
+// commands (cmd/refine, cmd/reconstruct, cmd/benchkernel,
+// cmd/benchpipeline): register once, Start after flag.Parse, and call
+// the returned stop function on the success path to flush outputs.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	Metrics    string
+	Trace      string
+}
+
+// Register installs the four flags on fs (use flag.CommandLine for the
+// process-wide set).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file (after GC)")
+	fs.StringVar(&f.Metrics, "metrics", "", "write a metrics snapshot to this file on exit (.json for JSON, \"-\" for stdout text)")
+	fs.StringVar(&f.Trace, "trace", "", "write a Chrome trace_event timeline of the simulated cluster clock to this file (open in chrome://tracing or ui.perfetto.dev)")
+}
+
+// Active reports whether any observability or profiling output was
+// requested.
+func (f *Flags) Active() bool {
+	return f.CPUProfile != "" || f.MemProfile != "" || f.Metrics != "" || f.Trace != ""
+}
+
+// Start turns on instrumentation and profiling according to the flags
+// and returns a stop function that stops the CPU profile, writes the
+// heap profile, metrics snapshot and trace file, and reports the first
+// error. Instrumentation (counters and pprof stage labels) is enabled
+// whenever any output is requested — CPU profiles want the stage
+// labels even if no metrics file is written. The stop function is
+// always non-nil.
+func (f *Flags) Start() (func() error, error) {
+	if f.Active() {
+		obs.SetEnabled(true)
+	}
+	var tr *obs.Trace
+	if f.Trace != "" {
+		tr = obs.StartTrace()
+	}
+	stopProf, err := StartProfiles(f.CPUProfile, f.MemProfile)
+	if err != nil {
+		if tr != nil {
+			obs.EndTrace()
+		}
+		return func() error { return nil }, err
+	}
+	stop := func() error {
+		firstErr := stopProf()
+		if tr != nil {
+			obs.EndTrace()
+			if err := writeTo(f.Trace, tr.WriteChromeTrace); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("trace: %w", err)
+			}
+		}
+		if f.Metrics != "" {
+			if err := writeMetrics(f.Metrics); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("metrics: %w", err)
+			}
+		}
+		return firstErr
+	}
+	return stop, nil
+}
+
+// writeMetrics writes the global snapshot: "-" streams text to stdout,
+// a .json path gets the JSON document, anything else the text form.
+func writeMetrics(path string) error {
+	if path == "-" {
+		return obs.WriteText(os.Stdout)
+	}
+	if strings.HasSuffix(path, ".json") {
+		return writeTo(path, obs.WriteJSON)
+	}
+	return writeTo(path, obs.WriteText)
+}
+
+// writeTo creates path, runs the writer, and keeps the close error —
+// a failed Close on a write path is a truncated file.
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		//replint:allow errsink close error is subordinate to the write error already being returned
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// BenchSchemaVersion is the version of the BENCH_*.json report
+// envelope. Bump when the shared fields change shape.
+const BenchSchemaVersion = 2
+
+// RunMeta pins the machine context a bench report was produced under,
+// so the bench trajectory across PRs compares like with like.
+type RunMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// CurrentRunMeta captures the running process's context.
+func CurrentRunMeta() RunMeta {
+	return RunMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}

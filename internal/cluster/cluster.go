@@ -96,6 +96,7 @@ type Stats struct {
 // Stats.Elapsed. Run may be called repeatedly; each call starts
 // clocks at zero.
 func (c *Cluster) Run(fn func(*Node)) []Stats {
+	clusterRuns.Inc()
 	stats := make([]Stats, c.P)
 	var wg sync.WaitGroup
 	for r := 0; r < c.P; r++ {
@@ -150,6 +151,7 @@ func (n *Node) ChargeComm(sec float64) {
 	n.clock += sec
 	n.comm += sec
 	n.nMsgs++
+	clusterOneSided.Inc()
 }
 
 // Send transmits data of the given serialized size to rank dst with a
@@ -166,6 +168,9 @@ func (n *Node) Send(dst, tag int, data interface{}, bytes int) {
 	n.comm += cost
 	n.sent += int64(bytes)
 	n.nMsgs++
+	clusterMessages.Inc()
+	clusterBytes.Add(int64(bytes))
+	clusterMessageSize.Observe(int64(bytes))
 	n.c.links[dst*n.c.P+n.Rank] <- message{tag: tag, data: data, arrival: n.clock}
 }
 
@@ -219,6 +224,7 @@ func (c *Cluster) rendezvousFor(name string) *rendezvous {
 // exchange blocks until all P ranks have called it with the same name,
 // then returns every rank's value and the maximum entry clock.
 func (n *Node) exchange(name string, value interface{}) ([]interface{}, float64) {
+	clusterExchanges.Inc()
 	rv := n.c.rendezvousFor(name)
 	rv.mu.Lock()
 	defer rv.mu.Unlock()

@@ -1,0 +1,16 @@
+package cluster
+
+import "repro/internal/obs"
+
+// Simulated-machine traffic. These count *simulated* events — messages
+// and bytes the modeled machine would move, runs launched, rendezvous
+// generations completed — never wall-clock anything; the simclock
+// analyzer enforces that rule for this whole package.
+var (
+	clusterRuns        = obs.NewCounter("cluster.runs")
+	clusterMessages    = obs.NewCounter("cluster.messages")
+	clusterBytes       = obs.NewCounter("cluster.bytes")
+	clusterOneSided    = obs.NewCounter("cluster.one_sided")
+	clusterExchanges   = obs.NewCounter("cluster.exchanges")
+	clusterMessageSize = obs.NewHistogram("cluster.message_bytes", 32)
+)

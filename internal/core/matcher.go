@@ -290,6 +290,7 @@ func (m *matcher) distanceToCut(vd *viewData, cut []complex128) float64 {
 //
 //repro:hotpath
 func (m *matcher) distance(vd *viewData, o geom.Euler, n int, sc *matchScratch) float64 {
+	matchDistanceEvals.Inc()
 	cut := sc.cut[:n]
 	m.sampleCut(cut, vd.refW, o)
 	return m.distanceToCut(vd, cut)
@@ -303,6 +304,7 @@ func (m *matcher) distance(vd *viewData, o geom.Euler, n int, sc *matchScratch) 
 //
 //repro:hotpath
 func (m *matcher) distanceWindow(vd *viewData, orients []geom.Euler, n int, sc *matchScratch, dst []float64) {
+	matchDistanceEvals.Add(int64(len(orients)))
 	cut := sc.cut[:n]
 	for i, o := range orients {
 		m.sampleCut(cut, vd.refW, o)
@@ -316,6 +318,7 @@ func (m *matcher) distanceWindow(vd *viewData, orients []geom.Euler, n int, sc *
 //
 //repro:hotpath
 func (m *matcher) shiftedDistance(vd *viewData, cut []complex128, dx, dy float64) float64 {
+	matchShiftedEvals.Inc()
 	twoPiOverL := 2 * math.Pi / float64(m.l)
 	n := len(cut)
 	energy := vd.prefixE[n]

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/ctf"
+	"repro/internal/geom"
+	"repro/internal/micrograph"
+	"repro/internal/obs"
+	"repro/internal/volume"
+)
+
+// The determinism contract under instrumentation: enabling counters,
+// pprof stage labels and trace recording must leave refinement output
+// and simulated-clock totals bit-identical. Instruments only read the
+// simulated clock and bump atomics — these tests pin that property
+// (and run under -race in CI, exercising the concurrent bumps).
+
+// clusterInputs splits a dataset into the parallel-pass argument
+// slices with perturbed initial orientations.
+func clusterInputs(ds *micrograph.Dataset, perturb geom.Euler) ([]*volume.Image, []ctf.Params, []geom.Euler) {
+	images := make([]*volume.Image, len(ds.Views))
+	ctfs := make([]ctf.Params, len(ds.Views))
+	inits := make([]geom.Euler, len(ds.Views))
+	for i, v := range ds.Views {
+		images[i] = v.Image
+		ctfs[i] = v.CTF
+		inits[i] = v.TrueOrient.Add(perturb)
+	}
+	return images, ctfs, inits
+}
+
+func TestRefineBatchBitIdenticalUnderObs(t *testing.T) {
+	r, ds := streamFixture(t, 4)
+	perturb := geom.Euler{Theta: 0.8, Phi: -0.5, Omega: 0.3}
+
+	run := func() []Result {
+		views := make([]*View, len(ds.Views))
+		inits := make([]geom.Euler, len(ds.Views))
+		for i, v := range ds.Views {
+			pv, err := r.PrepareView(v.Image, v.CTF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			views[i] = pv
+			inits[i] = v.TrueOrient.Add(perturb)
+		}
+		res, err := r.RefineBatch(views, inits, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	prev := obs.SetEnabled(false)
+	defer obs.SetEnabled(prev)
+	plain := run()
+
+	obs.SetEnabled(true)
+	obs.StartTrace()
+	instrumented := run()
+	obs.EndTrace()
+
+	if !reflect.DeepEqual(plain, instrumented) {
+		t.Fatalf("RefineBatch results differ under instrumentation:\n  plain        %+v\n  instrumented %+v",
+			plain, instrumented)
+	}
+}
+
+func TestRefineStreamBitIdenticalUnderObs(t *testing.T) {
+	r, ds := streamFixture(t, 5)
+	perturb := geom.Euler{Theta: -0.6, Phi: 0.4, Omega: 0.9}
+	n, src := datasetSource(ds, perturb)
+	opt := StreamOptions{Depth: 2, FFTWorkers: 2, RefineWorkers: 2}
+
+	prev := obs.SetEnabled(false)
+	defer obs.SetEnabled(prev)
+	plain, err := r.RefineStream(n, src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs.SetEnabled(true)
+	instrumented, err := r.RefineStream(n, src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain, instrumented) {
+		t.Fatal("RefineStream results differ under instrumentation")
+	}
+}
+
+// TestRefineOnClusterTimingsBitIdenticalUnderObs: the simulated-clock
+// totals (per-step makespans and per-view results) must not move when
+// the full instrumentation — counters, spans, stage labels — records
+// the run.
+func TestRefineOnClusterTimingsBitIdenticalUnderObs(t *testing.T) {
+	r, ds := streamFixture(t, 6)
+	perturb := geom.Euler{Theta: 0.7, Phi: 0.2, Omega: -0.4}
+	images, ctfs, inits := clusterInputs(ds, perturb)
+	opt := DefaultParallelOptions()
+
+	run := func() ([]Result, StepTimes) {
+		cl := cluster.New(3, cluster.SP2)
+		res, times, err := r.RefineOnCluster(cl, images, ctfs, inits, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, times
+	}
+
+	prev := obs.SetEnabled(false)
+	defer obs.SetEnabled(prev)
+	plainRes, plainTimes := run()
+
+	obs.SetEnabled(true)
+	tr := obs.StartTrace()
+	instRes, instTimes := run()
+	obs.EndTrace()
+
+	if plainTimes != instTimes {
+		t.Fatalf("simulated step times differ under instrumentation:\n  plain        %+v\n  instrumented %+v",
+			plainTimes, instTimes)
+	}
+	if !reflect.DeepEqual(plainRes, instRes) {
+		t.Fatal("RefineOnCluster results differ under instrumentation")
+	}
+	// And the trace actually recorded the refinement phases.
+	cats := map[string]int{}
+	for _, e := range tr.Events() {
+		cats[e.Cat]++
+	}
+	if cats["refine"] == 0 {
+		t.Fatal("trace recorded no refine-phase events")
+	}
+}
+
+// TestLevelCountersRecord: one refinement moves the per-level counter
+// vectors by exactly the LevelStats the result reports.
+func TestLevelCountersRecord(t *testing.T) {
+	r, ds := streamFixture(t, 1)
+	prev := obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
+	before := levelMatchings.Value(0)
+	beforeEvals := levelCenterEvals.Value(0)
+	pv, err := r.PrepareView(ds.Views[0].Image, ds.Views[0].CTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.RefineView(pv, ds.Views[0].TrueOrient.Add(geom.Euler{Theta: 0.5}))
+	if len(res.PerLevel) == 0 {
+		t.Fatal("no per-level stats")
+	}
+	st := res.PerLevel[0]
+	if got := levelMatchings.Value(0) - before; got != int64(st.Matchings) {
+		t.Fatalf("level-0 matchings counter moved %d, LevelStats says %d", got, st.Matchings)
+	}
+	if got := levelCenterEvals.Value(0) - beforeEvals; got != int64(st.CenterEvals) {
+		t.Fatalf("level-0 centre-eval counter moved %d, LevelStats says %d", got, st.CenterEvals)
+	}
+}

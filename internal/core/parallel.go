@@ -8,6 +8,7 @@ import (
 	"repro/internal/ctf"
 	"repro/internal/fourier"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/parfft"
 	"repro/internal/volume"
 )
@@ -87,8 +88,21 @@ func (r *Refiner) RefineOnCluster(
 	type marks struct{ read, fft, refine float64 }
 	nodeMarks := make([]marks, p)
 
+	// Timeline span names, shared read-only by all node goroutines.
+	// Spans and instants cost one atomic load when no trace records.
+	levelNames := make([]string, len(r.cfg.Schedule))
+	for li := range levelNames {
+		levelNames[li] = fmt.Sprintf("refine L%d", li)
+	}
+
 	cl.Run(func(n *cluster.Node) {
 		rank := n.Rank
+		mark := n.Clock()
+		stage := func(name string) {
+			now := n.Clock()
+			obs.Span(rank, 0, name, "refine", mark, now)
+			mark = now
+		}
 		// Step b–c: master reads the image and orientation files and
 		// distributes view indices round-robin (view q goes to rank
 		// q mod P, keeping E_q and O_q^init together).
@@ -109,6 +123,7 @@ func (r *Refiner) RefineOnCluster(
 		}
 		n.Scatter("views", 0, parts, len(myIdx)*viewBytes)
 		nodeMarks[rank].read = n.Clock()
+		stage("b-c read+scatter")
 
 		// Steps d–e: 2-D DFT + CTF correction of owned views, on one
 		// per-node transform scratch (spectrum buffer + real-input
@@ -132,9 +147,14 @@ func (r *Refiner) RefineOnCluster(
 			if r.cfg.CorrectCTF {
 				n.Compute(20 * float64(l*l))
 			}
+			sp := obs.StartSpan(rank, 0, "fft", "refine", mark)
+			sp.SetArg("view", int64(q))
+			mark = n.Clock()
+			sp.End(mark)
 		}
 		n.Barrier("post-fft")
 		nodeMarks[rank].fft = n.Clock()
+		stage("post-fft barrier")
 
 		// Steps f–n: refine each view through every level, with a
 		// barrier per level (step m). Within a level the node's views
@@ -158,23 +178,37 @@ func (r *Refiner) RefineOnCluster(
 			scratches[w] = r.m.newScratch()
 		}
 		sts := make([]LevelStats, len(myIdx))
-		for _, lv := range r.cfg.Schedule {
+		for li, lv := range r.cfg.Schedule {
 			lv := lv
-			runIndexed(len(myIdx), nodeWorkers, func(w, i int) {
+			runIndexedLabeled("core.refine.level", len(myIdx), nodeWorkers, func(w, i int) {
 				sts[i] = r.refineLevel(myViews[i].vd, &states[i], lv, scratches[w])
 			})
-			for i := range myIdx {
+			for i, q := range myIdx {
 				st := sts[i]
+				recordLevelStats(li, st)
 				states[i].PerLevel = append(states[i].PerLevel, st)
 				n.Compute(float64(st.Matchings) * flopsPerMatch(band))
 				n.Compute(float64(st.CenterEvals) * 15 * float64(band))
+				sp := obs.StartSpan(rank, 0, levelNames[li], "refine", mark)
+				sp.SetArg("view", int64(q))
+				sp.SetArg("matchings", int64(st.Matchings))
+				mark = n.Clock()
+				sp.End(mark)
+				if st.Slides > 0 {
+					obs.Instant(rank, 0, "slide", "refine", mark, [2]obs.Arg{
+						{Key: "view", Value: int64(q)},
+						{Key: "count", Value: int64(st.Slides)},
+					})
+				}
 			}
 			n.Barrier("level")
+			stage("level barrier")
 		}
 		nodeMarks[rank].refine = n.Clock()
 
 		// Step o: gather refined orientations on the master.
 		n.Gather("results", 0, states, len(myIdx)*64)
+		stage("gather")
 		for i, q := range myIdx {
 			results[q] = states[i]
 		}

@@ -10,3 +10,7 @@ import "repro/internal/pool"
 func poolWorkers(n, workers int) int { return pool.Workers(n, workers) }
 
 func runIndexed(n, workers int, fn func(worker, i int)) { pool.RunIndexed(n, workers, fn) }
+
+func runIndexedLabeled(stage string, n, workers int, fn func(worker, i int)) {
+	pool.RunIndexedLabeled(stage, n, workers, fn)
+}

@@ -127,9 +127,11 @@ func (r *Refiner) RefineView(v *View, init geom.Euler) Result {
 // refineViewWith is RefineView bound to caller-owned scratch (one per
 // worker in the batch paths).
 func (r *Refiner) refineViewWith(v *View, init geom.Euler, sc *matchScratch) Result {
+	viewsRefined.Inc()
 	res := Result{Orient: init}
-	for _, lv := range r.cfg.Schedule {
+	for li, lv := range r.cfg.Schedule {
 		st := r.refineLevel(v.vd, &res, lv, sc)
+		recordLevelStats(li, st)
 		res.PerLevel = append(res.PerLevel, st)
 	}
 	return res
@@ -315,7 +317,7 @@ func (r *Refiner) RefineBatch(views []*View, inits []geom.Euler, workers int) ([
 		scratches[w] = r.m.newScratch()
 	}
 	results := make([]Result, len(views))
-	runIndexed(len(views), workers, func(w, i int) {
+	runIndexedLabeled("core.refine.batch", len(views), workers, func(w, i int) {
 		results[i] = r.refineViewWith(views[i], inits[i], scratches[w])
 	})
 	return results, nil

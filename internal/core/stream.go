@@ -1,14 +1,29 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 
 	"repro/internal/ctf"
 	"repro/internal/fourier"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/volume"
 )
+
+// labeledStage runs body under a runtime/pprof goroutine label
+// (key "stage") when instrumentation is enabled, so CPU profiles
+// attribute samples to the pipeline stage; otherwise it calls body
+// directly.
+func labeledStage(stage string, body func()) {
+	if obs.Enabled() {
+		pprof.Do(context.Background(), pprof.Labels("stage", stage), func(context.Context) { body() })
+		return
+	}
+	body()
+}
 
 // Streaming refinement. RefineBatch wants every view prepared up
 // front, which materializes all m view spectra at once; on
@@ -137,7 +152,7 @@ func (r *Refiner) RefineStream(n int, src StreamSource, opt StreamOptions) ([]Re
 	}
 
 	// Stage 1: sequential loader.
-	go func() {
+	go labeledStage("core.stream.load", func() {
 		defer close(loaded)
 		for i := 0; i < n; i++ {
 			item, err := src(i)
@@ -151,13 +166,13 @@ func (r *Refiner) RefineStream(n int, src StreamSource, opt StreamOptions) ([]Re
 				return
 			}
 		}
-	}()
+	})
 
 	// Stage 2: 2-D FFT + CTF + band extraction on reusable scratch.
 	var fftWG sync.WaitGroup
 	for w := 0; w < fftWorkers; w++ {
 		fftWG.Add(1)
-		go func() {
+		go labeledStage("core.stream.fft", func() {
 			defer fftWG.Done()
 			trans := fourier.NewViewTransformer(r.m.l)
 			buf := volume.NewCImage(r.m.l)
@@ -173,7 +188,7 @@ func (r *Refiner) RefineStream(n int, src StreamSource, opt StreamOptions) ([]Re
 					return
 				}
 			}
-		}()
+		})
 	}
 	go func() {
 		fftWG.Wait()
@@ -186,13 +201,14 @@ func (r *Refiner) RefineStream(n int, src StreamSource, opt StreamOptions) ([]Re
 	var refineWG sync.WaitGroup
 	for w := 0; w < refineWorkers; w++ {
 		refineWG.Add(1)
-		go func() {
+		go labeledStage("core.stream.refine", func() {
 			defer refineWG.Done()
 			sc := r.m.newScratch()
 			for pv := range prepared {
 				results[pv.i] = r.refineViewWith(pv.v, pv.init, sc)
+				streamViews.Inc()
 			}
-		}()
+		})
 	}
 	refineWG.Wait()
 	if firstErr != nil {

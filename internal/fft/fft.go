@@ -73,10 +73,13 @@ func shardFor(n int) int {
 // first use. Concurrent first calls may build duplicate tables; only
 // one wins the LoadOrStore and the rest are discarded.
 func tablesFor(n int) *planTables {
-	shard := &planCache[shardFor(n)]
+	s := shardFor(n)
+	shard := &planCache[s]
 	if v, ok := shard.Load(n); ok {
+		planCacheHits.Inc(s)
 		return v.(*planTables)
 	}
+	planCacheMisses.Inc(s)
 	t := buildTables(n)
 	v, _ := shard.LoadOrStore(n, t)
 	return v.(*planTables)

@@ -1,0 +1,13 @@
+package fft
+
+import "repro/internal/obs"
+
+// Per-shard plan-cache traffic. A Load that finds the tables is a hit;
+// a miss covers the build + LoadOrStore path (including the losers of
+// a concurrent first-use race, whose built tables are discarded).
+var (
+	planCacheHits   = obs.NewCounterVec("fft.plan_cache.hits", cacheShards)
+	planCacheMisses = obs.NewCounterVec("fft.plan_cache.misses", cacheShards)
+	realCacheHits   = obs.NewCounterVec("fft.real_cache.hits", cacheShards)
+	realCacheMisses = obs.NewCounterVec("fft.real_cache.misses", cacheShards)
+)

@@ -35,10 +35,13 @@ type realTables struct {
 }
 
 func realTablesFor(n int) *realTables {
-	shard := &realCache[shardFor(n)]
+	s := shardFor(n)
+	shard := &realCache[s]
 	if v, ok := shard.Load(n); ok {
+		realCacheHits.Inc(s)
 		return v.(*realTables)
 	}
+	realCacheMisses.Inc(s)
 	t := &realTables{n: n, twid: make([]complex128, n/2)}
 	for k := range t.twid {
 		angle := -2 * math.Pi * float64(k) / float64(n)

@@ -44,6 +44,7 @@ func (v *VolumeDFT) NewSampler(interp Interpolation) Sampler {
 //
 //repro:hotpath
 func (s *Sampler) At(x, y, z float64) complex128 {
+	samplerAtCalls.Inc()
 	x *= s.pad
 	y *= s.pad
 	z *= s.pad
@@ -130,6 +131,8 @@ func (s *Sampler) trilinear(x, y, z float64) complex128 {
 //
 //repro:hotpath
 func (s *Sampler) SampleCut(dst []complex128, fh, fk []float64, xAxis, yAxis geom.Vec3) {
+	samplerCutCalls.Inc()
+	samplerCutCoeffs.Add(int64(len(dst)))
 	xx, xy, xz := xAxis.X, xAxis.Y, xAxis.Z
 	yx, yy, yz := yAxis.X, yAxis.Y, yAxis.Z
 	if s.nearest {

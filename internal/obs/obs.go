@@ -1,0 +1,295 @@
+// Package obs is the project's zero-dependency instrumentation layer:
+// atomic counters, power-of-two-bucket histograms, and a simulated-clock
+// span trace (trace.go). It is built for the repo's determinism
+// contract — instruments only ever *read* the simulated cluster clock
+// and bump atomics, so enabling full instrumentation leaves refinement
+// output and simulated timings bit-identical (asserted in
+// internal/core and internal/parfft tests).
+//
+// Cost model: every instrument call starts with one atomic load of the
+// global enabled flag and returns immediately when it is false, so the
+// disabled path compiles to near-nothing. The enabled path is a single
+// atomic add per counter bump; spans come from a sync.Pool so the hot
+// path stays alloc-free (proved by BenchmarkSpanDisabled/Enabled).
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates counters and histograms globally. The trace has its own
+// activation (an atomic pointer to the active Trace) so that -trace can
+// run without -metrics and vice versa; benchutil turns both on.
+var enabled atomic.Bool
+
+// SetEnabled turns metric collection on or off and returns the previous
+// state, so tests can restore it.
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Enabled reports whether metric collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// registry holds every instrument ever constructed. Instruments are
+// package-level vars, so construction is init-time only; the mutex is
+// never touched on the hot path.
+var registry struct {
+	sync.Mutex
+	names map[string]bool
+	insts []instrument
+}
+
+type instrument interface {
+	// snapshot appends the instrument's current values, one Metric per
+	// exported series, in a deterministic order.
+	snapshot([]Metric) []Metric
+	// reset zeroes the instrument.
+	reset()
+}
+
+func register(name string, inst instrument) {
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.names == nil {
+		registry.names = make(map[string]bool)
+	}
+	if registry.names[name] {
+		panic("obs: duplicate instrument name " + name)
+	}
+	registry.names[name] = true
+	registry.insts = append(registry.insts, inst)
+}
+
+// Metric is one exported series value in a snapshot.
+type Metric struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Snapshot returns every registered series sorted by name. Values are
+// read with atomic loads; concurrent bumps may land between reads of
+// different series, which is fine — snapshots are for reporting, not
+// for the determinism contract.
+func Snapshot() []Metric {
+	registry.Lock()
+	insts := make([]instrument, len(registry.insts))
+	copy(insts, registry.insts)
+	registry.Unlock()
+	var ms []Metric
+	for _, in := range insts {
+		ms = in.snapshot(ms)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	return ms
+}
+
+// Values returns the snapshot as a name→value map, for tests that want
+// delta assertions around a code region.
+func Values() map[string]int64 {
+	ms := Snapshot()
+	m := make(map[string]int64, len(ms))
+	for _, mt := range ms {
+		m[mt.Name] = mt.Value
+	}
+	return m
+}
+
+// ResetAll zeroes every registered instrument.
+func ResetAll() {
+	registry.Lock()
+	insts := make([]instrument, len(registry.insts))
+	copy(insts, registry.insts)
+	registry.Unlock()
+	for _, in := range insts {
+		in.reset()
+	}
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewCounter registers a counter. Call from package-level var
+// initialisers only; duplicate names panic.
+func NewCounter(name string) *Counter {
+	c := &Counter{name: name}
+	register(name, c)
+	return c
+}
+
+// Inc adds 1 when instrumentation is enabled.
+func (c *Counter) Inc() {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n when instrumentation is enabled.
+func (c *Counter) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) snapshot(ms []Metric) []Metric {
+	return append(ms, Metric{Name: c.name, Value: c.v.Load()})
+}
+
+func (c *Counter) reset() { c.v.Store(0) }
+
+// CounterVec is a fixed-width vector of counters indexed by a small
+// integer label (a cache shard, a resolution level). Cells export as
+// name[i]; out-of-range indexes clamp to the last cell so callers never
+// need a bounds check on the hot path.
+type CounterVec struct {
+	name  string
+	cells []atomic.Int64
+}
+
+// NewCounterVec registers a counter vector with n cells.
+func NewCounterVec(name string, n int) *CounterVec {
+	if n <= 0 {
+		panic("obs: CounterVec needs at least one cell: " + name)
+	}
+	v := &CounterVec{name: name, cells: make([]atomic.Int64, n)}
+	register(name, v)
+	return v
+}
+
+// Inc adds 1 to cell i when instrumentation is enabled.
+func (v *CounterVec) Inc(i int) { v.Add(i, 1) }
+
+// Add adds n to cell i when instrumentation is enabled.
+func (v *CounterVec) Add(i int, n int64) {
+	if !enabled.Load() {
+		return
+	}
+	if i < 0 {
+		i = 0
+	} else if i >= len(v.cells) {
+		i = len(v.cells) - 1
+	}
+	v.cells[i].Add(n)
+}
+
+// Value returns the current count of cell i (clamped like Add).
+func (v *CounterVec) Value(i int) int64 {
+	if i < 0 {
+		i = 0
+	} else if i >= len(v.cells) {
+		i = len(v.cells) - 1
+	}
+	return v.cells[i].Load()
+}
+
+// Total returns the sum across all cells.
+func (v *CounterVec) Total() int64 {
+	var t int64
+	for i := range v.cells {
+		t += v.cells[i].Load()
+	}
+	return t
+}
+
+func (v *CounterVec) snapshot(ms []Metric) []Metric {
+	for i := range v.cells {
+		ms = append(ms, Metric{Name: vecName(v.name, i), Value: v.cells[i].Load()})
+	}
+	return ms
+}
+
+func (v *CounterVec) reset() {
+	for i := range v.cells {
+		v.cells[i].Store(0)
+	}
+}
+
+// vecName formats name[i] without fmt (init-time and snapshot only, but
+// keeping obs free of fmt keeps the package lean).
+func vecName(name string, i int) string {
+	digits := [20]byte{}
+	p := len(digits)
+	if i == 0 {
+		p--
+		digits[p] = '0'
+	}
+	for i > 0 {
+		p--
+		digits[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return name + "[" + string(digits[p:]) + "]"
+}
+
+// Histogram records a distribution in power-of-two buckets: bucket k
+// counts observations v with 2^(k-1) <= v < 2^k (bucket 0 counts v <= 0
+// and v == 1 lands in bucket 1). It also tracks count and sum so means
+// survive the bucketing.
+type Histogram struct {
+	name    string
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// NewHistogram registers a histogram with the given number of
+// power-of-two buckets; observations beyond the last bucket clamp.
+func NewHistogram(name string, buckets int) *Histogram {
+	if buckets <= 0 {
+		panic("obs: Histogram needs at least one bucket: " + name)
+	}
+	h := &Histogram{name: name, buckets: make([]atomic.Int64, buckets)}
+	register(name, h)
+	return h
+}
+
+// Observe records one observation when instrumentation is enabled.
+func (h *Histogram) Observe(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	k := 0
+	if v > 0 {
+		k = bits.Len64(uint64(v))
+		if k >= len(h.buckets) {
+			k = len(h.buckets) - 1
+		}
+	}
+	h.buckets[k].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+func (h *Histogram) snapshot(ms []Metric) []Metric {
+	ms = append(ms,
+		Metric{Name: h.name + ".count", Value: h.count.Load()},
+		Metric{Name: h.name + ".sum", Value: h.sum.Load()},
+	)
+	for i := range h.buckets {
+		ms = append(ms, Metric{Name: vecName(h.name+".bucket", i), Value: h.buckets[i].Load()})
+	}
+	return ms
+}
+
+func (h *Histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fft"
 	"repro/internal/fourier"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/volume"
 )
@@ -92,12 +93,23 @@ func Transform3D(c *cluster.Cluster, g *volume.Grid, readSecs float64) Result {
 		rank := n.Rank
 		workers := nodeWorkers(p)
 
+		// Stage spans tile [0, Elapsed] on the simulated clock: mark is
+		// carried from each stage boundary to the next, so the spans are
+		// contiguous by construction and their last end *is* the node's
+		// Stats.Elapsed — the reconciliation tests exploit that.
+		mark := n.Clock()
+		stage := func(name string) {
+			now := n.Clock()
+			obs.Span(rank, 0, name, "parfft", mark, now)
+			mark = now
+		}
+
 		// a.1–a.2: master reads the map and scatters z-slabs.
 		var parts []interface{}
 		if rank == 0 {
 			n.Sleep(readSecs)
 			parts = make([]interface{}, p)
-			pool.RunIndexed(p, workers, func(_, i int) {
+			pool.RunIndexedLabeled("parfft.a2.pack", p, workers, func(_, i int) {
 				z0, z1 := zs[i], zs[i+1]
 				planes := make([][]complex128, 0, z1-z0)
 				for z := z0; z < z1; z++ {
@@ -112,8 +124,10 @@ func Transform3D(c *cluster.Cluster, g *volume.Grid, readSecs float64) Result {
 				parts[i] = planes
 			})
 		}
+		stage("a.1 read")
 		slabBytes := (zs[1] - zs[0]) * l * l * bytesPerComplex
 		myPlanes := n.Scatter("zslab", 0, parts, slabBytes).([][]complex128)
+		stage("a.2 scatter")
 
 		// a.3: 2-D FFT along x and y on every owned z-plane. The planes
 		// carry a real density map, so each worker runs the Hermitian
@@ -125,7 +139,7 @@ func Transform3D(c *cluster.Cluster, g *volume.Grid, readSecs float64) Result {
 		}
 		w3 := pool.Workers(len(myPlanes), workers)
 		scratch := make([]*fftScratch, w3)
-		pool.RunIndexed(len(myPlanes), w3, func(w, i int) {
+		pool.RunIndexedLabeled("parfft.a3.fft2d", len(myPlanes), w3, func(w, i int) {
 			sc := scratch[w]
 			if sc == nil {
 				sc = &fftScratch{plan: fft.NewRealPlan2D(l, l), re: make([]float64, l*l)}
@@ -138,13 +152,14 @@ func Transform3D(c *cluster.Cluster, g *volume.Grid, readSecs float64) Result {
 			sc.plan.Forward(sc.re, plane)
 		})
 		n.Compute(float64(len(myPlanes)) * 2 * float64(l) * fftFlops(l))
+		stage("a.3 fft2d")
 
 		// a.4: global exchange z-slabs -> y-slabs. The part destined
 		// for rank j holds, for each owned z, the block of all x and
 		// y ∈ Yj. Destination blocks are independent, so packing fans
 		// out across the node's cores.
 		exParts := make([]interface{}, p)
-		pool.RunIndexed(p, workers, func(_, j int) {
+		pool.RunIndexedLabeled("parfft.a4.pack", p, workers, func(_, j int) {
 			y0, y1 := zs[j], zs[j+1]
 			ny := y1 - y0
 			block := make([]complex128, len(myPlanes)*l*ny)
@@ -159,6 +174,7 @@ func Transform3D(c *cluster.Cluster, g *volume.Grid, readSecs float64) Result {
 		})
 		partBytes := (zs[1] - zs[0]) * l * (zs[1] - zs[0]) * bytesPerComplex
 		recv := n.AllToAll("exchange", exParts, partBytes)
+		stage("a.4 exchange")
 
 		// Assemble the y-slab with z contiguous: (x·ny + yy)·l + z.
 		// Source blocks write disjoint z ranges, so unpacking is
@@ -166,7 +182,7 @@ func Transform3D(c *cluster.Cluster, g *volume.Grid, readSecs float64) Result {
 		myY0, myY1 := zs[rank], zs[rank+1]
 		myNy := myY1 - myY0
 		yslab := make([]complex128, l*myNy*l)
-		pool.RunIndexed(p, workers, func(_, src int) {
+		pool.RunIndexedLabeled("parfft.a4.unpack", p, workers, func(_, src int) {
 			block := recv[src].([]complex128)
 			idx := 0
 			for z := zs[src]; z < zs[src+1]; z++ {
@@ -185,18 +201,19 @@ func Transform3D(c *cluster.Cluster, g *volume.Grid, readSecs float64) Result {
 		lines := l * myNy
 		w5 := pool.Workers(lines, workers)
 		zplans := make([]*fft.Plan, w5)
-		pool.RunIndexed(lines, w5, func(w, line int) {
+		pool.RunIndexedLabeled("parfft.a5.fftz", lines, w5, func(w, line int) {
 			if zplans[w] == nil {
 				zplans[w] = fft.NewPlan(l)
 			}
 			zplans[w].Forward(yslab[line*l : (line+1)*l])
 		})
 		n.Compute(float64(lines) * fftFlops(l))
+		stage("a.5 fftz")
 
 		// a.6: all-gather replicates the full transform everywhere.
 		gathered := n.AllGather("gather", yslab, l*myNy*l*bytesPerComplex)
 		full := volume.NewCGrid(l)
-		pool.RunIndexed(p, workers, func(_, src int) {
+		pool.RunIndexedLabeled("parfft.a6.assemble", p, workers, func(_, src int) {
 			sl := gathered[src].([]complex128)
 			y0 := zs[src]
 			ny := zs[src+1] - y0
@@ -207,6 +224,7 @@ func Transform3D(c *cluster.Cluster, g *volume.Grid, readSecs float64) Result {
 			}
 		})
 		results[rank] = full
+		stage("a.6 allgather")
 	})
 
 	// Convert rank 0's replica to the centred convention used by the
@@ -215,6 +233,35 @@ func Transform3D(c *cluster.Cluster, g *volume.Grid, readSecs float64) Result {
 	centred := &fourier.VolumeDFT{L: l, SrcL: l, Data: dft.Data}
 	applyRamp(centred)
 	return Result{DFT: centred, Stats: stats, Elapsed: cluster.MaxElapsed(stats)}
+}
+
+// Transform3DPadded runs the cluster transform on g embedded centrally
+// in a (pad·l)³ zero box, producing the oversampled spectrum the
+// matcher samples (the counterpart of fourier.NewVolumeDFTPadded, but
+// with the slab DFT's simulated cost of transforming the padded map).
+// The returned DFT addresses image frequencies of the original l-box:
+// SrcL is fixed to l.
+func Transform3DPadded(c *cluster.Cluster, g *volume.Grid, pad int, readSecs float64) Result {
+	if pad < 1 {
+		panic("parfft: pad must be ≥ 1")
+	}
+	if pad == 1 {
+		return Transform3D(c, g, readSecs)
+	}
+	l := g.L
+	bl := pad * l
+	pg := volume.NewGrid(bl)
+	off := bl/2 - l/2 // maps voxel l/2 (particle origin) onto bl/2
+	for x := 0; x < l; x++ {
+		for y := 0; y < l; y++ {
+			base := ((x+off)*bl + y + off) * bl
+			srcBase := (x*l + y) * l
+			copy(pg.Data[base+off:base+off+l], g.Data[srcBase:srcBase+l])
+		}
+	}
+	r := Transform3D(c, pg, readSecs)
+	r.DFT.SrcL = l
+	return r
 }
 
 // applyRamp converts an origin-at-0 spectrum to the centred

@@ -1,0 +1,111 @@
+package parfft
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/phantom"
+)
+
+// TestStageSpansTileNodeClock: the six stage spans of every node must
+// tile [0, Stats.Elapsed] on the simulated clock — contiguous,
+// in-order, and ending exactly (same float64) at the node's reported
+// elapsed time. The stage marks telescope (each span starts at the
+// previous span's end and reads n.Clock() for its own end), so this is
+// an exact identity, not a tolerance check.
+func TestStageSpansTileNodeClock(t *testing.T) {
+	g := phantom.Asymmetric(16, 5, 1)
+	c := cluster.New(4, cluster.SP2)
+
+	tr := obs.StartTrace()
+	defer obs.EndTrace()
+	res := Transform3D(c, g, 0.25)
+	obs.EndTrace()
+
+	wantStages := []string{"a.1 read", "a.2 scatter", "a.3 fft2d", "a.4 exchange", "a.5 fftz", "a.6 allgather"}
+	perNode := map[int][]obs.Event{}
+	for _, e := range tr.Events() {
+		if e.Cat != "parfft" {
+			t.Fatalf("unexpected event category %q", e.Cat)
+		}
+		perNode[e.Pid] = append(perNode[e.Pid], e)
+	}
+	if len(perNode) != c.P {
+		t.Fatalf("spans cover %d nodes, want %d", len(perNode), c.P)
+	}
+	for _, st := range res.Stats {
+		ev := perNode[st.Rank]
+		if len(ev) != len(wantStages) {
+			t.Fatalf("rank %d: %d spans, want %d", st.Rank, len(ev), len(wantStages))
+		}
+		cursor := 0.0
+		var sum float64
+		for i, e := range ev {
+			if e.Name != wantStages[i] {
+				t.Fatalf("rank %d span %d = %q, want %q", st.Rank, i, e.Name, wantStages[i])
+			}
+			if e.Start != cursor {
+				t.Fatalf("rank %d %q starts at %.17g, previous ended at %.17g (gap/overlap)",
+					st.Rank, e.Name, e.Start, cursor)
+			}
+			if e.End < e.Start {
+				t.Fatalf("rank %d %q runs backwards: [%g, %g]", st.Rank, e.Name, e.Start, e.End)
+			}
+			cursor = e.End
+			sum += e.End - e.Start
+		}
+		if cursor != st.Elapsed {
+			t.Fatalf("rank %d spans end at %.17g, cluster reports Elapsed %.17g",
+				st.Rank, cursor, st.Elapsed)
+		}
+		// The telescoping sum equals Elapsed up to float addition order.
+		if math.Abs(sum-st.Elapsed) > 1e-12*math.Max(1, st.Elapsed) {
+			t.Fatalf("rank %d span durations sum to %.17g, want %.17g", st.Rank, sum, st.Elapsed)
+		}
+	}
+	// Rank 0 pays the modeled read; its a.1 span must say so.
+	if got := perNode[0][0].End - perNode[0][0].Start; got != 0.25 {
+		t.Fatalf("rank 0 read span = %g s, want 0.25", got)
+	}
+}
+
+// TestTracingLeavesTimingsIdentical: recording a trace must not change
+// the simulated timings — spans only *read* the clock.
+func TestTracingLeavesTimingsIdentical(t *testing.T) {
+	g := phantom.Asymmetric(16, 5, 1)
+
+	base := Transform3D(cluster.New(4, cluster.SP2), g, 0.1)
+	obs.StartTrace()
+	traced := Transform3D(cluster.New(4, cluster.SP2), g, 0.1)
+	obs.EndTrace()
+
+	if base.Elapsed != traced.Elapsed {
+		t.Fatalf("tracing changed makespan: %.17g vs %.17g", base.Elapsed, traced.Elapsed)
+	}
+	for i := range base.Stats {
+		if base.Stats[i] != traced.Stats[i] {
+			t.Fatalf("rank %d stats changed under tracing:\n  base   %+v\n  traced %+v",
+				i, base.Stats[i], traced.Stats[i])
+		}
+	}
+	for i := range base.DFT.Data {
+		if base.DFT.Data[i] != traced.DFT.Data[i] {
+			t.Fatalf("tracing changed DFT output at %d", i)
+		}
+	}
+}
+
+// TestTransform3DPadded: the padded cluster transform must address
+// image frequencies of the original box (SrcL = l) on a pad·l lattice.
+func TestTransform3DPadded(t *testing.T) {
+	g := phantom.Asymmetric(8, 3, 1)
+	res := Transform3DPadded(cluster.New(2, cluster.SP2), g, 2, 0)
+	if res.DFT.L != 16 || res.DFT.SrcL != 8 {
+		t.Fatalf("padded DFT lattice L=%d SrcL=%d, want 16/8", res.DFT.L, res.DFT.SrcL)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("padded transform reported zero simulated time")
+	}
+}

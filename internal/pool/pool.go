@@ -12,9 +12,24 @@
 package pool
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Pool occupancy metrics. runs counts pool launches, items the total
+// indices dispatched, and items_per_worker the per-worker share of
+// each run — a flat histogram means the atomic hand-out balanced the
+// load, a skewed one means stragglers dominated.
+var (
+	poolRuns           = obs.NewCounter("pool.runs")
+	poolItems          = obs.NewCounter("pool.items")
+	poolWorkers        = obs.NewCounter("pool.workers")
+	poolItemsPerWorker = obs.NewHistogram("pool.items_per_worker", 24)
 )
 
 // Workers resolves a requested worker count for n independent work
@@ -40,10 +55,36 @@ func Workers(n, workers int) int {
 // callers bind per-worker scratch without synchronization. RunIndexed
 // returns after all items complete.
 func RunIndexed(n, workers int, fn func(worker, i int)) {
+	RunIndexedLabeled("", n, workers, fn)
+}
+
+// RunIndexedLabeled is RunIndexed with a stage name. When
+// instrumentation is enabled the stage is attached to the worker
+// goroutines as a runtime/pprof label (key "stage"), so CPU profiles
+// attribute samples to pipeline stages, and occupancy metrics are
+// recorded. Scheduling and the exactly-once contract are identical to
+// RunIndexed; an empty stage skips the pprof label but still counts.
+func RunIndexedLabeled(stage string, n, workers int, fn func(worker, i int)) {
 	workers = Workers(n, workers)
+	observe := obs.Enabled()
+	if observe {
+		poolRuns.Inc()
+		poolItems.Add(int64(n))
+		poolWorkers.Add(int64(workers))
+	}
 	if workers == 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
+		body := func() {
+			for i := 0; i < n; i++ {
+				fn(0, i)
+			}
+		}
+		if observe && stage != "" {
+			pprof.Do(context.Background(), pprof.Labels("stage", stage), func(context.Context) { body() })
+		} else {
+			body()
+		}
+		if observe {
+			poolItemsPerWorker.Observe(int64(n))
 		}
 		return
 	}
@@ -53,12 +94,26 @@ func RunIndexed(n, workers int, fn func(worker, i int)) {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+			body := func() {
+				done := int64(0)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						break
+					}
+					fn(worker, i)
+					done++
 				}
-				fn(worker, i)
+				if observe {
+					poolItemsPerWorker.Observe(done)
+				}
+			}
+			if observe && stage != "" {
+				// Labels set inside pprof.Do are inherited by any
+				// goroutine fn itself spawns.
+				pprof.Do(context.Background(), pprof.Labels("stage", stage), func(context.Context) { body() })
+			} else {
+				body()
 			}
 		}(w)
 	}
