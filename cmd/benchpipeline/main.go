@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -162,7 +163,7 @@ func main() {
 			}
 			pvs[i] = pv
 		}
-		if _, err := r.RefineBatch(pvs, inits, 0); err != nil {
+		if _, err := r.RefineBatch(context.Background(), pvs, inits, 0); err != nil {
 			fatal(err)
 		}
 	})
@@ -170,14 +171,14 @@ func main() {
 
 	opt := core.StreamOptions{}
 	// Warm pipeline (plan caches, pools) before the measured pass.
-	if _, err := r.RefineStream(*views, src, opt); err != nil {
+	if _, err := r.RefineStream(context.Background(), *views, src, opt); err != nil {
 		fatal(err)
 	}
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	streamSecs := timeRun(func() {
-		if _, err := r.RefineStream(*views, src, opt); err != nil {
+		if _, err := r.RefineStream(context.Background(), *views, src, opt); err != nil {
 			fatal(err)
 		}
 	})

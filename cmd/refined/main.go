@@ -1,0 +1,124 @@
+// Command refined is the refinement job daemon: it exposes the
+// internal/serve job service over HTTP and keeps a checkpoint journal
+// so a killed daemon resumes interrupted refinements mid-schedule.
+//
+// Quickstart:
+//
+//	refined -addr 127.0.0.1:8080 -journal jobs.jsonl &
+//	curl -s -X POST localhost:8080/jobs \
+//	    -d '{"dataset":"asymmetric","scale":2.5,"views":6,"levels":2}'
+//	curl -s localhost:8080/jobs/job-000001
+//	curl -s localhost:8080/metrics
+//
+// SIGTERM/SIGINT drains gracefully: in-flight HTTP requests finish,
+// running jobs stop at their next level checkpoint, and a restart
+// with the same -journal resumes them bit-identically.
+//
+// The serve package itself is wall-clock-free (replint's simclock
+// scope); everything here that touches real time — HTTP timeouts,
+// signal handling, the artificial -level-delay used by the CI smoke —
+// is deliberately confined to this command.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile   = flag.String("addr-file", "", "write the bound listen address to this file (for scripts using -addr :0)")
+		journal    = flag.String("journal", "", "checkpoint journal path; empty disables persistence (jobs die with the process)")
+		queue      = flag.Int("queue", 16, "admission queue depth; submits beyond it get HTTP 429")
+		jobs       = flag.Int("jobs", 1, "concurrent job executors")
+		fftW       = flag.Int("fft-workers", 0, "FFT-stage workers per job (0 = GOMAXPROCS)")
+		refineW    = flag.Int("refine-workers", 0, "refine-stage workers per job (0 = GOMAXPROCS)")
+		depth      = flag.Int("depth", 0, "stream channel depth per job (0 = derived)")
+		levelDelay = flag.Duration("level-delay", 0, "artificial pause after each level checkpoint (smoke tests: widens the kill window)")
+	)
+	flag.Parse()
+	log.SetPrefix("refined: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	obs.SetEnabled(true)
+	obs.StartTrace()
+
+	opt := serve.Options{
+		QueueDepth: *queue,
+		RunWorkers: *jobs,
+		Stream:     core.StreamOptions{FFTWorkers: *fftW, RefineWorkers: *refineW, Depth: *depth},
+		Logf:       log.Printf,
+	}
+	if *journal != "" {
+		j, err := serve.OpenJournal(*journal)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := j.Close(); err != nil {
+				log.Printf("closing journal: %v", err)
+			}
+		}()
+		opt.Journal = j
+	}
+	if *levelDelay > 0 {
+		opt.OnLevel = func(id string, level int) { time.Sleep(*levelDelay) }
+	}
+	m, err := serve.NewManager(opt)
+	if err != nil {
+		return err
+	}
+	m.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("listening on %s", ln.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+
+	srv := &http.Server{Handler: serve.NewHandler(m), ReadHeaderTimeout: 10 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("signal received; draining")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+	}()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	// HTTP is down; park running jobs at their next checkpoint so a
+	// restart with the same journal resumes them.
+	m.Drain()
+	log.Printf("drained")
+	return nil
+}

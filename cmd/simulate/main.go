@@ -36,7 +36,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	spec, err := specByName(*dataset)
+	spec, err := workload.SpecByName(*dataset)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,16 +67,4 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %d views of %d×%d px (%.2g Å/px, SNR %.2g, jitter %.2g px, CTF %t)\n",
 		*out, len(ds.Views), ds.L, ds.L, ds.PixelA, spec.SNR, spec.CenterJitter, ds.HasCTF)
-}
-
-func specByName(name string) (workload.DatasetSpec, error) {
-	switch name {
-	case "sindbis":
-		return workload.SindbisSpec(), nil
-	case "reo":
-		return workload.ReoSpec(), nil
-	case "asymmetric":
-		return workload.AsymmetricSpec(), nil
-	}
-	return workload.DatasetSpec{}, fmt.Errorf("unknown dataset %q (want sindbis, reo or asymmetric)", name)
 }

@@ -65,7 +65,7 @@ type Config struct {
 // DefaultConfig returns the production scoping of the suite.
 func DefaultConfig() *Config {
 	return &Config{
-		SimclockPaths: []string{"internal/parfft", "internal/cluster", "internal/core"},
+		SimclockPaths: []string{"internal/parfft", "internal/cluster", "internal/core", "internal/serve"},
 		NumericPaths: []string{
 			"internal/fft", "internal/fourier", "internal/core", "internal/parfft",
 			"internal/cluster", "internal/reconstruct", "internal/align", "internal/fsc",

@@ -122,6 +122,7 @@ func TestOracleGuardFixture(t *testing.T)  { checkFixture(t, "oracleguard") }
 func TestMapOrderFixture(t *testing.T)     { checkFixture(t, "maporder") }
 func TestHotpathAllocFixture(t *testing.T) { checkFixture(t, "hotpathalloc") }
 func TestErrSinkFixture(t *testing.T)      { checkFixture(t, "errsink") }
+func TestServeFixture(t *testing.T)        { checkFixture(t, "serve") }
 func TestObsSpanFixture(t *testing.T)      { checkFixture(t, "obsspan") }
 
 // TestSuppressionFixture asserts the waiver machinery directly: the

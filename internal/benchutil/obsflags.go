@@ -89,19 +89,23 @@ func writeMetrics(path string) error {
 	return writeTo(path, obs.WriteText)
 }
 
-// writeTo creates path, runs the writer, and keeps the close error —
-// a failed Close on a write path is a truncated file.
-func writeTo(path string, write func(w io.Writer) error) error {
+// writeTo creates path, runs the writer, and closes it with the
+// sticky-error close-keep-err pattern (internal/micrograph/io.go): the
+// write error wins, but a failed Close after a clean write still fails
+// the caller — buffered metrics or trace data that never reached disk
+// is a truncated report, and on the error path the Close result is no
+// longer silently dropped.
+func writeTo(path string, write func(w io.Writer) error) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := write(f); err != nil {
-		//replint:allow errsink close error is subordinate to the write error already being returned
-		f.Close()
-		return err
-	}
-	return f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return write(f)
 }
 
 // BenchSchemaVersion is the version of the BENCH_*.json report

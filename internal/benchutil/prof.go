@@ -28,6 +28,22 @@ func StartProfiles(cpuPath, memPath string) (func() error, error) {
 		}
 		cpuFile = f
 	}
+	// writeHeapProfile snapshots the heap after a GC with the
+	// close-keep-err pattern (internal/micrograph/io.go): a failed
+	// Close on this write path is a truncated profile.
+	writeHeapProfile := func(path string) (err error) {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		runtime.GC()
+		return pprof.WriteHeapProfile(f)
+	}
 	stop := func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
@@ -36,13 +52,7 @@ func StartProfiles(cpuPath, memPath string) (func() error, error) {
 			}
 		}
 		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				return fmt.Errorf("mem profile: %w", err)
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
+			if err := writeHeapProfile(memPath); err != nil {
 				return fmt.Errorf("mem profile: %w", err)
 			}
 		}

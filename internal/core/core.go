@@ -189,6 +189,14 @@ type LevelStats struct {
 	// BandUsed is the number of Fourier coefficients per matching at
 	// this level (the low-frequency prefix selected by RMapFrac).
 	BandUsed int
+	// Shifts records, in application order, every centre-shift
+	// increment (dx, dy) baked into the view's band during this level
+	// (one entry per refineLevel round that moved the centre). Replaying
+	// the increments on a freshly prepared view — in PerLevel order,
+	// via Refiner.ApplyShift — reproduces the view's band state
+	// bit-identically, which is what lets a checkpointed refinement
+	// resume mid-schedule with no numerical drift (see RefineStreamLevels).
+	Shifts [][2]float64
 }
 
 // Result is the refined solution for one view (step n):

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -47,7 +48,7 @@ func TestRefineBatchBitIdenticalUnderObs(t *testing.T) {
 			views[i] = pv
 			inits[i] = v.TrueOrient.Add(perturb)
 		}
-		res, err := r.RefineBatch(views, inits, 3)
+		res, err := r.RefineBatch(context.Background(), views, inits, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,13 +78,13 @@ func TestRefineStreamBitIdenticalUnderObs(t *testing.T) {
 
 	prev := obs.SetEnabled(false)
 	defer obs.SetEnabled(prev)
-	plain, err := r.RefineStream(n, src, opt)
+	plain, err := r.RefineStream(context.Background(), n, src, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	obs.SetEnabled(true)
-	instrumented, err := r.RefineStream(n, src, opt)
+	instrumented, err := r.RefineStream(context.Background(), n, src, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -480,7 +481,7 @@ func TestRefineBatchDeterministic(t *testing.T) {
 			pv, _ := r.PrepareView(v.Image, v.CTF)
 			views = append(views, pv)
 		}
-		res, err := r.RefineBatch(views, inits, workers)
+		res, err := r.RefineBatch(context.Background(), views, inits, workers)
 		if err != nil {
 			t.Fatal(err)
 		}

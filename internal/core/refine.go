@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -127,14 +128,35 @@ func (r *Refiner) RefineView(v *View, init geom.Euler) Result {
 // refineViewWith is RefineView bound to caller-owned scratch (one per
 // worker in the batch paths).
 func (r *Refiner) refineViewWith(v *View, init geom.Euler, sc *matchScratch) Result {
+	return r.refineViewRange(v, Result{Orient: init}, 0, len(r.cfg.Schedule), sc)
+}
+
+// refineViewRange runs schedule levels [start, stop) for one view,
+// continuing from the accumulated result res. The view's band must
+// already reflect every shift recorded in res.PerLevel (true trivially
+// for a fresh view with an empty prior, and restored for a checkpointed
+// view by replaying res.PerLevel[...].Shifts through ApplyShift).
+// res.PerLevel is cloned before appending so priors shared across runs
+// are never mutated.
+func (r *Refiner) refineViewRange(v *View, res Result, start, stop int, sc *matchScratch) Result {
 	viewsRefined.Inc()
-	res := Result{Orient: init}
-	for li, lv := range r.cfg.Schedule {
-		st := r.refineLevel(v.vd, &res, lv, sc)
+	res.PerLevel = append([]LevelStats(nil), res.PerLevel...)
+	for li := start; li < stop; li++ {
+		st := r.refineLevel(v.vd, &res, r.cfg.Schedule[li], sc)
 		recordLevelStats(li, st)
 		res.PerLevel = append(res.PerLevel, st)
 	}
 	return res
+}
+
+// ApplyShift bakes an additional centre shift into a prepared view's
+// band coefficients — the exported form of the step-l correction, used
+// to restore a checkpointed view: replaying a result's recorded
+// LevelStats.Shifts in order reproduces the band state of the original
+// run bit-for-bit (phase ramps are applied incrementally, so the replay
+// performs the identical float operations).
+func (r *Refiner) ApplyShift(v *View, dx, dy float64) {
+	r.m.applyShift(v.vd, dx, dy)
 }
 
 // refineLevel performs one schedule level, updating res in place.
@@ -167,6 +189,8 @@ func (r *Refiner) refineLevel(vd *viewData, res *Result, lv Level, sc *matchScra
 			dx, dy, d := r.refineCenter(vd, res.Orient, lv, n, &st, sc)
 			if dx != 0 || dy != 0 {
 				r.m.applyShift(vd, dx, dy)
+				//replint:allow hotpathalloc shift increments must be recorded for checkpoint replay; at most maxLevelIters tiny entries per level
+				st.Shifts = append(st.Shifts, [2]float64{dx, dy})
 				res.Center[0] += dx
 				res.Center[1] += dy
 				res.Distance = d
@@ -307,7 +331,12 @@ func (r *Refiner) refineCenter(vd *viewData, o geom.Euler, lv Level, n int, st *
 // scratch for its whole run, and results land in input order
 // regardless of scheduling. inits must parallel views. workers ≤ 0
 // selects GOMAXPROCS.
-func (r *Refiner) RefineBatch(views []*View, inits []geom.Euler, workers int) ([]Result, error) {
+//
+// Cancelling ctx aborts the batch between views: indices not yet
+// started are skipped, in-flight views run to completion, and the
+// context's error is returned (the partial results are discarded). ctx
+// must be non-nil; use RefineAll when cancellation is not needed.
+func (r *Refiner) RefineBatch(ctx context.Context, views []*View, inits []geom.Euler, workers int) ([]Result, error) {
 	if len(views) != len(inits) {
 		return nil, fmt.Errorf("core: %d views but %d initial orientations", len(views), len(inits))
 	}
@@ -318,12 +347,19 @@ func (r *Refiner) RefineBatch(views []*View, inits []geom.Euler, workers int) ([
 	}
 	results := make([]Result, len(views))
 	runIndexedLabeled("core.refine.batch", len(views), workers, func(w, i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		results[i] = r.refineViewWith(views[i], inits[i], scratches[w])
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return results, nil
 }
 
-// RefineAll is RefineBatch under its historical name.
+// RefineAll is RefineBatch under its historical name, without
+// cancellation.
 func (r *Refiner) RefineAll(views []*View, inits []geom.Euler, workers int) ([]Result, error) {
-	return r.RefineBatch(views, inits, workers)
+	return r.RefineBatch(context.Background(), views, inits, workers)
 }

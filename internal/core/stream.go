@@ -113,7 +113,42 @@ func StreamShape(opt StreamOptions) (fftWorkers, refineWorkers, depth int) {
 // slot, so pipeline scheduling cannot leak into the output. The first
 // error (from src or from view preparation) cancels the pipeline and
 // is returned.
-func (r *Refiner) RefineStream(n int, src StreamSource, opt StreamOptions) ([]Result, error) {
+//
+// Cancelling ctx aborts the pipeline between views — the loader stops
+// pulling, in-flight views finish their current stage, every stage
+// goroutine exits before RefineStream returns, and the context's error
+// is returned. ctx must be non-nil.
+func (r *Refiner) RefineStream(ctx context.Context, n int, src StreamSource, opt StreamOptions) ([]Result, error) {
+	return r.refineStreamRange(ctx, n, src, nil, 0, len(r.cfg.Schedule), opt)
+}
+
+// RefineStreamLevels runs schedule levels [start, stop) of the
+// refinement through the streaming pipeline, continuing each view from
+// priors[i] — the serving layer's checkpoint-resume entry point. The
+// FFT stage prepares view i freshly from src and then replays every
+// centre-shift increment recorded in priors[i].PerLevel (in order),
+// which restores the band state of the original run bit-for-bit; the
+// refine stage then continues from priors[i].Orient. Running the
+// schedule one level at a time through this entry point — re-preparing
+// and replaying at each level — therefore produces results
+// bit-identical to one uninterrupted RefineStream over the full
+// schedule. StreamItem.Init is ignored; priors supply the
+// orientations. priors must have length n.
+func (r *Refiner) RefineStreamLevels(ctx context.Context, n int, src StreamSource, priors []Result, start, stop int, opt StreamOptions) ([]Result, error) {
+	if len(priors) != n {
+		return nil, fmt.Errorf("core: %d views but %d prior results", n, len(priors))
+	}
+	if start < 0 || stop < start || stop > len(r.cfg.Schedule) {
+		return nil, fmt.Errorf("core: level range [%d, %d) outside schedule of %d levels", start, stop, len(r.cfg.Schedule))
+	}
+	return r.refineStreamRange(ctx, n, src, priors, start, stop, opt)
+}
+
+// refineStreamRange is the shared pipeline behind RefineStream and
+// RefineStreamLevels. priors == nil means "fresh run": each view
+// starts from its StreamItem.Init and runs the whole [start, stop)
+// range with no shift replay.
+func (r *Refiner) refineStreamRange(ctx context.Context, n int, src StreamSource, priors []Result, start, stop int, opt StreamOptions) ([]Result, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("core: negative view count %d", n)
 	}
@@ -141,20 +176,36 @@ func (r *Refiner) RefineStream(n int, src StreamSource, opt StreamOptions) ([]Re
 	}
 	loaded := make(chan loadedView, depth)
 	prepared := make(chan preparedView, depth)
-	stop := make(chan struct{})
+	abort := make(chan struct{})
 	var once sync.Once
 	var firstErr error
 	fail := func(err error) {
 		once.Do(func() {
 			firstErr = err
-			close(stop)
+			close(abort)
 		})
+	}
+	// cancelled reports (and latches) context cancellation; checked
+	// between views in every stage so an abort never waits on a full
+	// level of work.
+	cancelled := func() bool {
+		if err := ctx.Err(); err != nil {
+			fail(err)
+			return true
+		}
+		return false
 	}
 
 	// Stage 1: sequential loader.
+	var loadWG sync.WaitGroup
+	loadWG.Add(1)
 	go labeledStage("core.stream.load", func() {
+		defer loadWG.Done()
 		defer close(loaded)
 		for i := 0; i < n; i++ {
+			if cancelled() {
+				return
+			}
 			item, err := src(i)
 			if err != nil {
 				fail(fmt.Errorf("core: loading view %d: %w", i, err))
@@ -162,13 +213,17 @@ func (r *Refiner) RefineStream(n int, src StreamSource, opt StreamOptions) ([]Re
 			}
 			select {
 			case loaded <- loadedView{i: i, item: item}:
-			case <-stop:
+			case <-abort:
+				return
+			case <-ctx.Done():
+				fail(ctx.Err())
 				return
 			}
 		}
 	})
 
-	// Stage 2: 2-D FFT + CTF + band extraction on reusable scratch.
+	// Stage 2: 2-D FFT + CTF + band extraction on reusable scratch,
+	// plus checkpoint shift replay when resuming from priors.
 	var fftWG sync.WaitGroup
 	for w := 0; w < fftWorkers; w++ {
 		fftWG.Add(1)
@@ -177,14 +232,29 @@ func (r *Refiner) RefineStream(n int, src StreamSource, opt StreamOptions) ([]Re
 			trans := fourier.NewViewTransformer(r.m.l)
 			buf := volume.NewCImage(r.m.l)
 			for lv := range loaded {
+				if cancelled() {
+					return
+				}
 				v, err := r.prepareViewReuse(lv.item.Image, lv.item.CTF, trans, buf)
 				if err != nil {
 					fail(fmt.Errorf("core: preparing view %d: %w", lv.i, err))
 					return
 				}
+				init := lv.item.Init
+				if priors != nil {
+					for _, st := range priors[lv.i].PerLevel {
+						for _, s := range st.Shifts {
+							r.m.applyShift(v.vd, s[0], s[1])
+						}
+					}
+					init = priors[lv.i].Orient
+				}
 				select {
-				case prepared <- preparedView{i: lv.i, v: v, init: lv.item.Init}:
-				case <-stop:
+				case prepared <- preparedView{i: lv.i, v: v, init: init}:
+				case <-abort:
+					return
+				case <-ctx.Done():
+					fail(ctx.Err())
 					return
 				}
 			}
@@ -205,12 +275,24 @@ func (r *Refiner) RefineStream(n int, src StreamSource, opt StreamOptions) ([]Re
 			defer refineWG.Done()
 			sc := r.m.newScratch()
 			for pv := range prepared {
-				results[pv.i] = r.refineViewWith(pv.v, pv.init, sc)
+				if cancelled() {
+					return
+				}
+				prior := Result{Orient: pv.init}
+				if priors != nil {
+					prior = priors[pv.i]
+					prior.Orient = pv.init
+				}
+				results[pv.i] = r.refineViewRange(pv.v, prior, start, stop, sc)
 				streamViews.Inc()
 			}
 		})
 	}
 	refineWG.Wait()
+	// The refine stage only exits after prepared is closed (fft workers
+	// done) or a failure latched; wait for the loader too so no stage
+	// goroutine outlives the call.
+	loadWG.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/ctf"
 	"repro/internal/fourier"
@@ -59,7 +63,7 @@ func TestRefineStreamMatchesBatch(t *testing.T) {
 		views[i] = v
 		inits[i] = it.Init
 	}
-	want, err := r.RefineBatch(views, inits, 1)
+	want, err := r.RefineBatch(context.Background(), views, inits, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +74,7 @@ func TestRefineStreamMatchesBatch(t *testing.T) {
 		{Depth: 2, FFTWorkers: 3, RefineWorkers: 2},
 		{FFTWorkers: 8, RefineWorkers: 8},
 	} {
-		got, err := r.RefineStream(n, src, opt)
+		got, err := r.RefineStream(context.Background(), n, src, opt)
 		if err != nil {
 			t.Fatalf("opt %+v: %v", opt, err)
 		}
@@ -92,7 +96,7 @@ func TestRefineStreamPropagatesErrors(t *testing.T) {
 	r, ds := streamFixture(t, 4)
 	boom := errors.New("disk on fire")
 	n, good := datasetSource(ds, geom.Euler{})
-	_, err := r.RefineStream(n, func(i int) (StreamItem, error) {
+	_, err := r.RefineStream(context.Background(), n, func(i int) (StreamItem, error) {
 		if i == 2 {
 			return StreamItem{}, boom
 		}
@@ -102,7 +106,7 @@ func TestRefineStreamPropagatesErrors(t *testing.T) {
 		t.Fatalf("source error not propagated: %v", err)
 	}
 
-	_, err = r.RefineStream(1, func(int) (StreamItem, error) {
+	_, err = r.RefineStream(context.Background(), 1, func(int) (StreamItem, error) {
 		return StreamItem{Image: volume.NewImage(8)}, nil
 	}, StreamOptions{})
 	if err == nil {
@@ -113,10 +117,150 @@ func TestRefineStreamPropagatesErrors(t *testing.T) {
 // TestRefineStreamEmpty: zero views is a no-op, not a deadlock.
 func TestRefineStreamEmpty(t *testing.T) {
 	r, _ := streamFixture(t, 1)
-	res, err := r.RefineStream(0, func(int) (StreamItem, error) {
+	res, err := r.RefineStream(context.Background(), 0, func(int) (StreamItem, error) {
 		panic("source must not be called")
 	}, StreamOptions{})
 	if err != nil || res != nil {
 		t.Fatalf("empty stream: %v %v", res, err)
+	}
+}
+
+// TestRefineStreamCancelNoLeak: cancelling the context mid-stream
+// aborts between views, surfaces ctx.Err(), and leaks no stage
+// goroutine — every loader/FFT/refine worker must have exited by the
+// time RefineStream returns.
+func TestRefineStreamCancelNoLeak(t *testing.T) {
+	r, ds := streamFixture(t, 8)
+	n, src := datasetSource(ds, geom.Euler{Theta: 0.5})
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelling := func(i int) (StreamItem, error) {
+		if i == 3 {
+			cancel()
+		}
+		return src(i)
+	}
+	res, err := r.RefineStream(ctx, n, cancelling, StreamOptions{Depth: 1, FFTWorkers: 2, RefineWorkers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v (res %v)", err, res)
+	}
+	if res != nil {
+		t.Fatalf("cancelled stream returned results: %v", res)
+	}
+	// RefineStream waits for its own goroutines before returning, so
+	// any excess here would be a pipeline leak. Allow a short settle
+	// for unrelated runtime goroutines.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before %d, after %d", before, runtime.NumGoroutine())
+}
+
+// TestRefineBatchCancel: a cancelled context makes RefineBatch return
+// its error instead of results.
+func TestRefineBatchCancel(t *testing.T) {
+	r, ds := streamFixture(t, 3)
+	views := make([]*View, len(ds.Views))
+	inits := make([]geom.Euler, len(ds.Views))
+	for i, v := range ds.Views {
+		pv, err := r.PrepareView(v.Image, v.CTF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[i] = pv
+		inits[i] = v.TrueOrient
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.RefineBatch(ctx, views, inits, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestRefineStreamLevelsResume: running the schedule one level at a
+// time through RefineStreamLevels — re-preparing each view from the
+// raw image and replaying the recorded shift increments — must produce
+// results bit-identical to one uninterrupted RefineStream over the
+// full schedule. This is the property the serving layer's checkpoint
+// resume rests on.
+func TestRefineStreamLevelsResume(t *testing.T) {
+	const l = 16
+	truth := phantom.Asymmetric(l, 5, 1)
+	truth.SphericalMask(6)
+	ds := micrograph.Generate(truth, micrograph.GenParams{NumViews: 5, PixelA: 2.5, CenterJitter: 1.0, Seed: 9})
+	dft := fourier.NewVolumeDFTPadded(truth, 2)
+	cfg := DefaultConfig(l)
+	cfg.Schedule = []Level{
+		{RAngular: 1, WindowHalf: 2, CenterDelta: 1, CenterHalf: 1, RMapFrac: 0.5},
+		{RAngular: 0.5, WindowHalf: 1, CenterDelta: 0.5, CenterHalf: 1},
+		{RAngular: 0.1, WindowHalf: 0.2, CenterDelta: 0.1, CenterHalf: 1},
+	}
+	r, err := NewRefiner(dft, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturb := geom.Euler{Theta: 1.1, Phi: -0.7, Omega: 0.4}
+	n, src := datasetSource(ds, perturb)
+	ctx := context.Background()
+	opt := StreamOptions{Depth: 2, FFTWorkers: 2, RefineWorkers: 2}
+
+	want, err := r.RefineStream(ctx, n, src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Level at a time, as the job service runs it between checkpoints.
+	priors := make([]Result, n)
+	for i := 0; i < n; i++ {
+		it, _ := src(i)
+		priors[i] = Result{Orient: it.Init}
+	}
+	for k := 0; k < len(cfg.Schedule); k++ {
+		priors, err = r.RefineStreamLevels(ctx, n, src, priors, k, k+1, opt)
+		if err != nil {
+			t.Fatalf("level %d: %v", k, err)
+		}
+	}
+	if !reflect.DeepEqual(want, priors) {
+		for i := range want {
+			if !reflect.DeepEqual(want[i], priors[i]) {
+				t.Errorf("view %d: full %+v vs level-wise %+v", i, want[i], priors[i])
+			}
+		}
+		t.Fatal("level-wise resume diverged from uninterrupted run")
+	}
+	// The recorded shifts must account exactly for the final centre.
+	for i, res := range want {
+		var dx, dy float64
+		for _, st := range res.PerLevel {
+			for _, s := range st.Shifts {
+				dx += s[0]
+				dy += s[1]
+			}
+		}
+		if dx != res.Center[0] || dy != res.Center[1] {
+			t.Errorf("view %d: shifts sum to (%g, %g), Center is (%g, %g)", i, dx, dy, res.Center[0], res.Center[1])
+		}
+	}
+}
+
+// TestRefineStreamLevelsValidation: bad priors length and level ranges
+// are rejected up front.
+func TestRefineStreamLevelsValidation(t *testing.T) {
+	r, ds := streamFixture(t, 2)
+	n, src := datasetSource(ds, geom.Euler{})
+	ctx := context.Background()
+	if _, err := r.RefineStreamLevels(ctx, n, src, make([]Result, n+1), 0, 1, StreamOptions{}); err == nil {
+		t.Fatal("priors length mismatch not rejected")
+	}
+	if _, err := r.RefineStreamLevels(ctx, n, src, make([]Result, n), 0, 99, StreamOptions{}); err == nil {
+		t.Fatal("out-of-range level not rejected")
+	}
+	if _, err := r.RefineStreamLevels(ctx, n, src, make([]Result, n), -1, 1, StreamOptions{}); err == nil {
+		t.Fatal("negative start level not rejected")
 	}
 }

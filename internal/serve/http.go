@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// The HTTP surface, all stdlib:
+//
+//	POST   /jobs      — submit a JobSpec; 202 with the job status
+//	GET    /jobs      — list all jobs
+//	GET    /jobs/{id} — one job's status
+//	DELETE /jobs/{id} — cancel a job
+//	GET    /metrics   — the obs JSON snapshot (schema_version envelope)
+//	GET    /trace     — the active Chrome trace_event timeline
+//
+// Error mapping: invalid spec → 400, unknown job → 404, queue full →
+// 429 with Retry-After (the client should back off and retry — the
+// job was not accepted), draining → 503, cancel of a finished job →
+// 409. Handlers never read the wall clock; anything time-shaped in a
+// response came from the manager's logical clock.
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// NewHandler returns the service's HTTP handler for the given manager.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(m, w, r)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(m, w, http.StatusOK, m.List())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeJSON(m, w, http.StatusNotFound, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(m, w, http.StatusOK, st)
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		handleCancel(m, w, r)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteJSON(w); err != nil {
+			m.logf("serve: writing metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.ActiveTrace()
+		if tr == nil {
+			writeJSON(m, w, http.StatusNotFound, errorBody{Error: "serve: no active trace; start the daemon with tracing enabled"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := tr.WriteChromeTrace(w); err != nil {
+			m.logf("serve: writing trace: %v", err)
+		}
+	})
+	return mux
+}
+
+// handleSubmit decodes, validates and enqueues a job spec.
+func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(m, w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("serve: decoding job spec: %v", err)})
+		return
+	}
+	st, err := m.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(m, w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(m, w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(m, w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	default:
+		writeJSON(m, w, http.StatusAccepted, st)
+	}
+}
+
+// handleCancel maps Cancel's errors onto DELETE semantics.
+func handleCancel(m *Manager, w http.ResponseWriter, r *http.Request) {
+	st, err := m.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeJSON(m, w, http.StatusNotFound, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrTerminal):
+		writeJSON(m, w, http.StatusConflict, errorBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(m, w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	default:
+		writeJSON(m, w, http.StatusOK, st)
+	}
+}
+
+// writeJSON writes v as an indented JSON response. A failed write
+// means the client went away; it is logged, not surfaced — there is
+// nobody left to surface it to.
+func writeJSON(m *Manager, w http.ResponseWriter, code int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"serve: encoding response"}`, http.StatusInternalServerError)
+		m.logf("serve: encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		m.logf("serve: writing response: %v", err)
+	}
+}

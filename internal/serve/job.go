@@ -1,0 +1,180 @@
+// Package serve is the refinement job service: a queued, checkpointed,
+// backpressured front end that runs orientation refinements (the full
+// multi-resolution schedule of internal/core) as asynchronous jobs
+// behind a stdlib net/http API.
+//
+// The package is deliberately wall-clock-free — it is listed in the
+// replint simclock scope — so job scheduling is reproducible: all
+// timestamps come from an injectable logical clock (Options.Clock),
+// and all randomness from the seeds carried in the job spec. Anything
+// that genuinely needs real time (HTTP timeouts, signal handling,
+// artificial level delays for smoke tests) lives in cmd/refined.
+//
+// A job walks the states
+//
+//	pending → running → done | failed | cancelled
+//
+// with one checkpoint after every completed schedule level: the
+// journal records each level's refined orientations together with the
+// centre-shift increments applied to every view's band, which is
+// exactly the state RefineStreamLevels needs to resume the schedule
+// bit-identically after a crash (see internal/core).
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// The job lifecycle: pending (queued or awaiting resume), running,
+// and the three terminal states.
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec is the client-supplied description of one refinement job. It
+// reuses the workload.DatasetSpec vocabulary: a named dataset, an
+// optional shrink factor, and the perturbation of the initial
+// orientations. Everything else about the computation (phantom, SNR,
+// jitter, generator seed) is pinned by the named spec, so a JobSpec is
+// a complete, reproducible statement of the work.
+type JobSpec struct {
+	// Dataset names the workload spec ("sindbis", "reo", "asymmetric";
+	// the long "-like" forms are accepted too).
+	Dataset string `json:"dataset"`
+	// Scale shrinks the dataset by this factor (box size and view
+	// count, see workload.DatasetSpec.Scaled). ≤1 or omitted keeps the
+	// spec's native size.
+	Scale float64 `json:"scale,omitempty"`
+	// Views caps the number of views refined (0 = the spec's count).
+	Views int `json:"views,omitempty"`
+	// Levels is how many levels of the paper's schedule to run
+	// (1–4; 0 selects 2, enough to exercise a checkpoint).
+	Levels int `json:"levels,omitempty"`
+	// Pad is the reference-map Fourier padding factor (0 selects 2).
+	Pad int `json:"pad,omitempty"`
+	// InitError is the per-axis perturbation (degrees) of the initial
+	// orientations handed to refinement; 0 selects the dataset spec's
+	// own InitError.
+	InitError float64 `json:"init_error,omitempty"`
+	// InitSeed seeds the perturbation.
+	InitSeed int64 `json:"init_seed,omitempty"`
+}
+
+// normalize validates the spec and fills defaults, returning the
+// resolved workload spec alongside the normalized job spec.
+func (s JobSpec) normalize() (JobSpec, workload.DatasetSpec, error) {
+	wspec, err := workload.SpecByName(s.Dataset)
+	if err != nil {
+		return s, wspec, err
+	}
+	if s.Scale < 0 {
+		return s, wspec, fmt.Errorf("serve: negative scale %g", s.Scale)
+	}
+	if s.Scale > 1 {
+		wspec = wspec.Scaled(s.Scale)
+	}
+	if s.Views < 0 {
+		return s, wspec, fmt.Errorf("serve: negative view count %d", s.Views)
+	}
+	if s.Views > 0 && s.Views < wspec.NumViews {
+		wspec.NumViews = s.Views
+	}
+	s.Views = wspec.NumViews
+	if s.Levels == 0 {
+		s.Levels = 2
+	}
+	if max := len(core.DefaultSchedule()); s.Levels < 1 || s.Levels > max {
+		return s, wspec, fmt.Errorf("serve: levels %d outside 1..%d", s.Levels, max)
+	}
+	if s.Pad == 0 {
+		s.Pad = 2
+	}
+	if s.Pad < 1 || s.Pad > 4 {
+		return s, wspec, fmt.Errorf("serve: pad %d outside 1..4", s.Pad)
+	}
+	if s.InitError < 0 {
+		return s, wspec, fmt.Errorf("serve: negative init_error %g", s.InitError)
+	}
+	if s.InitError == 0 {
+		s.InitError = wspec.InitError
+	}
+	return s, wspec, nil
+}
+
+// Shape is the resolved stream-pipeline shape a job runs with,
+// reported so clients can see what parallelism the service applied.
+type Shape struct {
+	FFTWorkers    int `json:"fft_workers"`
+	RefineWorkers int `json:"refine_workers"`
+	Depth         int `json:"depth"`
+}
+
+// Summary condenses a finished job against the dataset's ground truth.
+type Summary struct {
+	// MeanAngularError and MaxAngularError are in degrees, against the
+	// synthetic ground-truth orientations.
+	MeanAngularError float64 `json:"mean_angular_error_deg"`
+	MaxAngularError  float64 `json:"max_angular_error_deg"`
+	// MeanDistance is the mean final matching distance.
+	MeanDistance float64 `json:"mean_distance"`
+}
+
+// summarize scores refined results against ground truth.
+func summarize(results []core.Result, truth []geom.Euler) *Summary {
+	if len(results) == 0 || len(results) != len(truth) {
+		return nil
+	}
+	var sum Summary
+	for i, res := range results {
+		d := geom.AngularDistance(res.Orient, truth[i])
+		sum.MeanAngularError += d
+		if d > sum.MaxAngularError {
+			sum.MaxAngularError = d
+		}
+		sum.MeanDistance += res.Distance
+	}
+	sum.MeanAngularError /= float64(len(results))
+	sum.MeanDistance /= float64(len(results))
+	return &sum
+}
+
+// JobStatus is the externally visible snapshot of one job — what
+// GET /jobs/{id} returns.
+type JobStatus struct {
+	ID    string  `json:"id"`
+	State State   `json:"state"`
+	Spec  JobSpec `json:"spec"`
+	// Views is the number of views the job refines.
+	Views int `json:"views"`
+	// LevelsDone counts completed (checkpointed) schedule levels;
+	// LevelsTotal is the job's full schedule length.
+	LevelsDone  int `json:"levels_done"`
+	LevelsTotal int `json:"levels_total"`
+	// Shape is the stream-pipeline shape the service runs jobs with.
+	Shape Shape `json:"shape"`
+	// SubmittedAt is the logical-clock tick the job was accepted at.
+	SubmittedAt float64 `json:"submitted_at"`
+	// Resumed reports that the job was recovered from a journal after
+	// a restart rather than submitted to this process.
+	Resumed bool `json:"resumed,omitempty"`
+	// Error carries the failure message of a failed job.
+	Error string `json:"error,omitempty"`
+	// Summary is present once the job is done.
+	Summary *Summary `json:"summary,omitempty"`
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+// The checkpoint journal is an append-only JSONL file: one record per
+// line, written and fsynced before the manager acknowledges the event
+// it describes. Three kinds exist:
+//
+//	submit   — a job was accepted (id + normalized spec)
+//	level    — one schedule level finished; carries the full per-view
+//	           results including every centre-shift increment, i.e.
+//	           exactly the priors RefineStreamLevels resumes from
+//	terminal — the job reached done/failed/cancelled
+//
+// Replay tolerates a torn final line (a crash mid-append) by ignoring
+// it; a malformed line anywhere earlier is corruption and an error.
+// Because core.Result round-trips through encoding/json without
+// losing a bit (float64 fields only), a journal resume reproduces the
+// uninterrupted run exactly.
+
+// journalRecord is one line of the journal.
+type journalRecord struct {
+	Kind string `json:"kind"` // "submit" | "level" | "terminal"
+	ID   string `json:"id"`
+	// Submit fields.
+	Spec *JobSpec `json:"spec,omitempty"`
+	// Level fields: the zero-based schedule level just completed and
+	// the per-view results after it.
+	Level   int           `json:"level,omitempty"`
+	Results []core.Result `json:"results,omitempty"`
+	// Terminal fields.
+	State   State    `json:"state,omitempty"`
+	Error   string   `json:"error,omitempty"`
+	Summary *Summary `json:"summary,omitempty"`
+}
+
+// JobReplay is the state of one job reconstructed from the journal.
+type JobReplay struct {
+	ID   string
+	Spec JobSpec
+	// LevelsDone is the number of checkpointed levels; Results holds
+	// the per-view results after the last of them (nil when none).
+	LevelsDone int
+	Results    []core.Result
+	// State is the terminal state if one was journaled, else
+	// StatePending — the job should be re-queued.
+	State   State
+	Error   string
+	Summary *Summary
+}
+
+// Journal is the append side of the checkpoint log. Methods are not
+// goroutine-safe; the Manager serializes access.
+type Journal struct {
+	f      *os.File
+	path   string
+	replay []JobReplay
+}
+
+// OpenJournal opens (creating if absent) the journal at path, replays
+// its records, and positions the file for appending.
+func OpenJournal(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("serve: reading journal: %w", err)
+	}
+	replay, err := replayJournal(data)
+	if err != nil {
+		return nil, fmt.Errorf("serve: journal %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	return &Journal{f: f, path: path, replay: replay}, nil
+}
+
+// Replay returns the per-job state reconstructed at open, in first-
+// submission order.
+func (j *Journal) Replay() []JobReplay { return j.replay }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// append writes one record as a JSON line and syncs it to disk before
+// returning, so an acknowledged event survives a kill.
+func (j *Journal) append(rec journalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: encoding journal record: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("serve: appending journal record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("serve: syncing journal: %w", err)
+	}
+	return nil
+}
+
+// Submit journals the acceptance of a job.
+func (j *Journal) Submit(id string, spec JobSpec) error {
+	return j.append(journalRecord{Kind: "submit", ID: id, Spec: &spec})
+}
+
+// Level journals the completion of schedule level `level` (zero-based)
+// with the per-view results after it.
+func (j *Journal) Level(id string, level int, results []core.Result) error {
+	return j.append(journalRecord{Kind: "level", ID: id, Level: level, Results: results})
+}
+
+// Terminal journals a job reaching a final state.
+func (j *Journal) Terminal(id string, state State, errMsg string, sum *Summary) error {
+	return j.append(journalRecord{Kind: "terminal", ID: id, State: state, Error: errMsg, Summary: sum})
+}
+
+// replayJournal folds the journal bytes into per-job state. The final
+// line may be torn (no trailing newline, or unparseable without one) —
+// the record it would have described was never acknowledged, so it is
+// dropped. A malformed interior line is an error.
+func replayJournal(data []byte) ([]JobReplay, error) {
+	var (
+		order []string
+		jobs  = map[string]*JobReplay{}
+	)
+	lines := bytes.Split(data, []byte("\n"))
+	// A well-formed journal ends with '\n', so the last split element
+	// is empty; anything else there is a torn tail.
+	last := len(lines) - 1
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if i == last {
+				break // torn tail from a crash mid-append
+			}
+			return nil, fmt.Errorf("journal line %d: %w", i+1, err)
+		}
+		jb := jobs[rec.ID]
+		switch rec.Kind {
+		case "submit":
+			if jb != nil {
+				return nil, fmt.Errorf("journal line %d: duplicate submit for %s", i+1, rec.ID)
+			}
+			if rec.Spec == nil {
+				return nil, fmt.Errorf("journal line %d: submit without spec", i+1)
+			}
+			jobs[rec.ID] = &JobReplay{ID: rec.ID, Spec: *rec.Spec, State: StatePending}
+			order = append(order, rec.ID)
+		case "level":
+			if jb == nil {
+				return nil, fmt.Errorf("journal line %d: level for unknown job %s", i+1, rec.ID)
+			}
+			if rec.Level != jb.LevelsDone {
+				return nil, fmt.Errorf("journal line %d: job %s level %d after %d levels", i+1, rec.ID, rec.Level, jb.LevelsDone)
+			}
+			jb.LevelsDone++
+			jb.Results = rec.Results
+		case "terminal":
+			if jb == nil {
+				return nil, fmt.Errorf("journal line %d: terminal for unknown job %s", i+1, rec.ID)
+			}
+			if !rec.State.Terminal() {
+				return nil, fmt.Errorf("journal line %d: non-terminal state %q", i+1, rec.State)
+			}
+			jb.State = rec.State
+			jb.Error = rec.Error
+			jb.Summary = rec.Summary
+		default:
+			return nil, fmt.Errorf("journal line %d: unknown record kind %q", i+1, rec.Kind)
+		}
+	}
+	out := make([]JobReplay, 0, len(order))
+	for _, id := range order {
+		out = append(out, *jobs[id])
+	}
+	return out, nil
+}

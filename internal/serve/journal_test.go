@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// sampleResults builds per-view results with awkward floats — values
+// whose decimal representations are not exact — to exercise the
+// journal's bit-exact float64 round-trip.
+func sampleResults() []core.Result {
+	return []core.Result{
+		{
+			Orient:   geom.Euler{Theta: 0.1 + 0.2, Phi: 1.0 / 3.0, Omega: -2.718281828459045},
+			Center:   [2]float64{0.30000000000000004, -0.1},
+			Distance: 3.141592653589793,
+			PerLevel: []core.LevelStats{{
+				Matchings: 729, Slides: 3, CenterEvals: 27, BandUsed: 88,
+				Shifts: [][2]float64{{0.1, -0.2}, {0.05, 0.15000000000000002}},
+			}},
+		},
+		{
+			Orient:   geom.Euler{Theta: 91.7, Phi: -12.25, Omega: 359.999},
+			Center:   [2]float64{-1.5, 2.25},
+			Distance: 0.021,
+			PerLevel: []core.LevelStats{{Matchings: 343, Shifts: [][2]float64{{-0.7, 0.7}}}},
+		},
+	}
+}
+
+// TestJournalRoundTrip: submit + level + terminal records replay to
+// exactly the state that was journaled, including every float bit of
+// the recorded shift increments.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Dataset: "asymmetric", Scale: 2.5, Views: 2, Levels: 2, Pad: 2, InitError: 2, InitSeed: 5}
+	results := sampleResults()
+	sum := &Summary{MeanAngularError: 0.25, MaxAngularError: 0.5, MeanDistance: 1.5}
+	if err := j.Submit("job-000001", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Level("job-000001", 0, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Submit("job-000002", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Terminal("job-000001", StateDone, "", sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := j2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	want := []JobReplay{
+		{ID: "job-000001", Spec: spec, LevelsDone: 1, Results: results, State: StateDone, Summary: sum},
+		{ID: "job-000002", Spec: spec, State: StatePending},
+	}
+	if got := j2.Replay(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestJournalTornTail: a crash mid-append leaves a partial final line;
+// replay drops it and keeps everything acknowledged before it.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Submit("job-000001", JobSpec{Dataset: "asymmetric", Views: 2, Levels: 1, Pad: 2, InitError: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"level","id":"job-000001","lev`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	defer func() {
+		if err := j2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	rp := j2.Replay()
+	if len(rp) != 1 || rp[0].ID != "job-000001" || rp[0].LevelsDone != 0 || rp[0].State != StatePending {
+		t.Fatalf("unexpected replay after torn tail: %+v", rp)
+	}
+}
+
+// TestJournalMalformedMiddle: a garbage line that is not the torn tail
+// is corruption, not a crash artifact — it must fail the open.
+func TestJournalMalformedMiddle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	lines := []string{
+		`{"kind":"submit","id":"job-000001","spec":{"dataset":"asymmetric"}}`,
+		`this is not JSON`,
+		`{"kind":"terminal","id":"job-000001","state":"done"}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("malformed interior line not rejected")
+	}
+}
+
+// TestJournalInconsistentRecords: level records must reference a
+// submitted job and arrive in schedule order.
+func TestJournalInconsistentRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	for _, bad := range []string{
+		`{"kind":"level","id":"job-000009","level":0}`,
+		`{"kind":"submit","id":"job-000001","spec":{"dataset":"asymmetric"}}` + "\n" +
+			`{"kind":"level","id":"job-000001","level":1}`,
+		`{"kind":"submit","id":"job-000001","spec":{"dataset":"asymmetric"}}` + "\n" +
+			`{"kind":"terminal","id":"job-000001","state":"running"}`,
+		`{"kind":"wat","id":"job-000001"}`,
+	} {
+		if err := os.WriteFile(path, []byte(bad+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenJournal(path); err == nil {
+			t.Errorf("inconsistent journal accepted: %s", bad)
+		}
+	}
+}

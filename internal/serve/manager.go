@@ -1,0 +1,492 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/ctf"
+	"repro/internal/fourier"
+	"repro/internal/obs"
+	"repro/internal/volume"
+	"repro/internal/workload"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull means the admission queue is at capacity; the
+	// request is retriable (HTTP 429).
+	ErrQueueFull = errors.New("serve: admission queue full, retry later")
+	// ErrDraining means the manager is shutting down (HTTP 503).
+	ErrDraining = errors.New("serve: draining, not accepting jobs")
+	// ErrNotFound means no job has the given ID (HTTP 404).
+	ErrNotFound = errors.New("serve: no such job")
+	// ErrTerminal means the operation needs a live job but the job
+	// already finished (HTTP 409).
+	ErrTerminal = errors.New("serve: job already in a terminal state")
+)
+
+// Options configures a Manager.
+type Options struct {
+	// QueueDepth bounds how many accepted-but-not-started jobs the
+	// manager holds; a submit beyond it fails with ErrQueueFull.
+	// 0 selects 16.
+	QueueDepth int
+	// RunWorkers is the number of concurrent job executors; each runs
+	// one job's stream pipeline at a time. 0 selects 1 — jobs usually
+	// want the cores inside the pipeline, not across jobs.
+	RunWorkers int
+	// Stream shapes the per-job pipeline (see core.StreamOptions).
+	Stream core.StreamOptions
+	// Journal, when non-nil, persists every accepted job and every
+	// completed level so a restarted manager resumes mid-schedule.
+	// The caller owns the journal and closes it after Drain.
+	Journal *Journal
+	// Clock is the logical clock stamped onto job events and trace
+	// spans. nil selects a process-local monotonic tick counter —
+	// serve is a simclock package, so wall time is not an option.
+	Clock func() float64
+	// OnLevel, when non-nil, is called after each level checkpoint
+	// (journal written, status updated). It runs on the executor
+	// goroutine: it may call RequestDrain to stop the schedule at
+	// this checkpoint, but must not block on Drain itself.
+	OnLevel func(jobID string, level int)
+	// Logf, when non-nil, receives one line per job state change.
+	Logf func(format string, args ...any)
+}
+
+// job is the manager-internal state of one refinement job. Mutable
+// fields are guarded by Manager.mu.
+type job struct {
+	id          string
+	spec        JobSpec
+	wspec       workload.DatasetSpec
+	submittedAt float64
+	resumed     bool
+	ctx         context.Context
+	cancel      context.CancelFunc
+
+	state      State
+	levelsDone int
+	results    []core.Result
+	errMsg     string
+	summary    *Summary
+}
+
+// Manager owns the job table, the bounded admission queue, and the
+// executor pool that schedules queued jobs onto the streaming
+// refinement pipeline.
+type Manager struct {
+	opt   Options
+	clock func() float64
+	logf  func(string, ...any)
+	shape Shape
+
+	queue chan *job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	queued   int // jobs accepted but not yet picked up by an executor
+	nextID   int
+	started  bool
+	draining bool
+}
+
+// NewManager builds a manager. If opt.Journal is set, its replayed
+// state is loaded: terminal jobs reappear in the table for GET, and
+// interrupted jobs re-enter the queue to resume from their last
+// checkpointed level. Call Start to begin executing.
+func NewManager(opt Options) (*Manager, error) {
+	if opt.QueueDepth <= 0 {
+		opt.QueueDepth = 16
+	}
+	if opt.RunWorkers <= 0 {
+		opt.RunWorkers = 1
+	}
+	clock := opt.Clock
+	if clock == nil {
+		var tick atomic.Int64
+		clock = func() float64 { return float64(tick.Add(1)) }
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	fftW, refW, depth := core.StreamShape(opt.Stream)
+	m := &Manager{
+		opt:   opt,
+		clock: clock,
+		logf:  logf,
+		shape: Shape{FFTWorkers: fftW, RefineWorkers: refW, Depth: depth},
+		quit:  make(chan struct{}),
+		jobs:  map[string]*job{},
+	}
+	var resumable []*job
+	if opt.Journal != nil {
+		for _, rp := range opt.Journal.Replay() {
+			jb, err := m.reviveJob(rp)
+			if err != nil {
+				return nil, err
+			}
+			m.jobs[jb.id] = jb
+			m.order = append(m.order, jb.id)
+			if !jb.state.Terminal() {
+				resumable = append(resumable, jb)
+			}
+			var n int
+			if _, err := fmt.Sscanf(jb.id, "job-%d", &n); err == nil && n > m.nextID {
+				m.nextID = n
+			}
+		}
+	}
+	// The channel is oversized by the resumable backlog so replayed
+	// jobs re-enter without blocking; admission control is the queued
+	// counter against QueueDepth, not the channel capacity.
+	m.queue = make(chan *job, opt.QueueDepth+len(resumable))
+	for _, jb := range resumable {
+		m.queued++
+		m.queue <- jb
+		jobsResumed.Inc()
+		m.logf("serve: resuming %s at level %d/%d", jb.id, jb.levelsDone, jb.spec.Levels)
+	}
+	return m, nil
+}
+
+// reviveJob rebuilds a job from its journal replay.
+func (m *Manager) reviveJob(rp JobReplay) (*job, error) {
+	spec, wspec, err := rp.Spec.normalize()
+	if err != nil {
+		return nil, fmt.Errorf("serve: journaled job %s: %w", rp.ID, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &job{
+		id:          rp.ID,
+		spec:        spec,
+		wspec:       wspec,
+		submittedAt: m.clock(),
+		resumed:     !rp.State.Terminal(),
+		ctx:         ctx,
+		cancel:      cancel,
+		state:       rp.State,
+		levelsDone:  rp.LevelsDone,
+		results:     rp.Results,
+		errMsg:      rp.Error,
+		summary:     rp.Summary,
+	}, nil
+}
+
+// Shape returns the resolved stream-pipeline shape jobs run with.
+func (m *Manager) Shape() Shape { return m.shape }
+
+// Start launches the executor pool. It may be called once.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	for w := 0; w < m.opt.RunWorkers; w++ {
+		m.wg.Add(1)
+		go m.executor(w)
+	}
+}
+
+// Submit validates and enqueues a job, returning its initial status.
+// Fails with ErrQueueFull when the admission queue is at capacity and
+// ErrDraining during shutdown.
+func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
+	spec, wspec, err := spec.normalize()
+	if err != nil {
+		jobsRejected.Inc()
+		return JobStatus{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		jobsRejected.Inc()
+		return JobStatus{}, ErrDraining
+	}
+	if m.queued >= m.opt.QueueDepth {
+		jobsRejected.Inc()
+		return JobStatus{}, ErrQueueFull
+	}
+	m.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
+	jb := &job{
+		id:          fmt.Sprintf("job-%06d", m.nextID),
+		spec:        spec,
+		wspec:       wspec,
+		submittedAt: m.clock(),
+		ctx:         ctx,
+		cancel:      cancel,
+		state:       StatePending,
+	}
+	if m.opt.Journal != nil {
+		if err := m.opt.Journal.Submit(jb.id, jb.spec); err != nil {
+			cancel()
+			jobsRejected.Inc()
+			return JobStatus{}, err
+		}
+	}
+	m.jobs[jb.id] = jb
+	m.order = append(m.order, jb.id)
+	m.queued++
+	// Guaranteed non-blocking: only Submit (under mu) adds, executors
+	// only remove, and the capacity covers QueueDepth plus the replay
+	// backlog.
+	m.queue <- jb
+	jobsSubmitted.Inc()
+	queueDepth.Observe(int64(m.queued))
+	m.logf("serve: accepted %s (%s, %d views, %d levels)", jb.id, jb.spec.Dataset, jb.spec.Views, jb.spec.Levels)
+	return m.statusLocked(jb), nil
+}
+
+// Get returns the status of one job.
+func (m *Manager) Get(id string) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	jb := m.jobs[id]
+	if jb == nil {
+		return JobStatus{}, ErrNotFound
+	}
+	return m.statusLocked(jb), nil
+}
+
+// List returns every known job in first-submission order.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.statusLocked(m.jobs[id]))
+	}
+	return out
+}
+
+// Results returns a copy of the job's per-view refined results after
+// its last completed level.
+func (m *Manager) Results(id string) ([]core.Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	jb := m.jobs[id]
+	if jb == nil {
+		return nil, ErrNotFound
+	}
+	return append([]core.Result(nil), jb.results...), nil
+}
+
+// Cancel stops a job: a pending job goes terminal immediately, a
+// running job is cancelled through its context and goes terminal when
+// the pipeline unwinds. Cancelling a terminal job fails with
+// ErrTerminal.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	m.mu.Lock()
+	jb := m.jobs[id]
+	if jb == nil {
+		m.mu.Unlock()
+		return JobStatus{}, ErrNotFound
+	}
+	if jb.state.Terminal() {
+		st := m.statusLocked(jb)
+		m.mu.Unlock()
+		return st, ErrTerminal
+	}
+	if jb.state == StatePending {
+		m.terminalLocked(jb, StateCancelled, "cancelled before start", nil)
+		st := m.statusLocked(jb)
+		m.mu.Unlock()
+		return st, nil
+	}
+	cancel := jb.cancel
+	st := m.statusLocked(jb)
+	m.mu.Unlock()
+	cancel()
+	return st, nil
+}
+
+// RequestDrain flips the manager into draining mode without waiting:
+// submits start failing with ErrDraining, idle executors exit, and
+// running jobs stop at their next level checkpoint, parking as
+// pending for a future restart to resume. Safe to call more than
+// once, and from OnLevel.
+func (m *Manager) RequestDrain() {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	m.mu.Unlock()
+	if !already {
+		close(m.quit)
+	}
+}
+
+// Drain requests a drain and waits for every executor to stop. The
+// journal (if any) is left to the caller to close afterwards.
+func (m *Manager) Drain() {
+	m.RequestDrain()
+	m.wg.Wait()
+}
+
+// drainRequested reports whether a drain is in progress.
+func (m *Manager) drainRequested() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// executor pulls queued jobs and runs them to a terminal state (or to
+// a drain checkpoint).
+func (m *Manager) executor(worker int) {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case jb := <-m.queue:
+			m.mu.Lock()
+			m.queued--
+			skip := jb.state != StatePending // cancelled while queued
+			if !skip {
+				jb.state = StateRunning
+			}
+			m.mu.Unlock()
+			if !skip {
+				m.runJob(worker, jb)
+			}
+		}
+	}
+}
+
+// runJob executes one job level by level, checkpointing after each.
+// The dataset, refiner and initial orientations are rebuilt from the
+// spec's seeds on every (re)start; recorded shift increments replayed
+// by RefineStreamLevels restore mid-schedule state bit-identically.
+func (m *Manager) runJob(worker int, jb *job) {
+	ds := jb.wspec.Build()
+	inits := ds.PerturbedOrientations(jb.spec.InitError, jb.spec.InitSeed)
+	dft := fourier.NewVolumeDFTPadded(ds.Truth, jb.spec.Pad)
+	cfg := core.DefaultConfig(jb.wspec.L)
+	cfg.Schedule = core.DefaultSchedule()[:jb.spec.Levels]
+	r, err := core.NewRefiner(dft, cfg)
+	if err != nil {
+		m.finish(jb, StateFailed, fmt.Sprintf("building refiner: %v", err), nil)
+		return
+	}
+	n := len(ds.Views)
+	images := make([]*volume.Image, n)
+	ctfs := make([]ctf.Params, n)
+	for i, v := range ds.Views {
+		images[i] = v.Image
+		ctfs[i] = v.CTF
+	}
+	src := core.SliceSource(images, ctfs, inits)
+
+	m.mu.Lock()
+	start := jb.levelsDone
+	priors := jb.results
+	m.mu.Unlock()
+	if priors == nil {
+		priors = make([]core.Result, n)
+		for i := range priors {
+			priors[i] = core.Result{Orient: inits[i]}
+		}
+	}
+
+	for k := start; k < jb.spec.Levels; k++ {
+		if m.drainRequested() {
+			m.park(jb)
+			return
+		}
+		t0 := m.clock()
+		res, err := r.RefineStreamLevels(jb.ctx, n, src, priors, k, k+1, m.opt.Stream)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				m.finish(jb, StateCancelled, "cancelled while running", nil)
+			} else {
+				m.finish(jb, StateFailed, fmt.Sprintf("level %d: %v", k, err), nil)
+			}
+			return
+		}
+		priors = res
+		obs.Span(0, worker, fmt.Sprintf("%s L%d", jb.id, k), "serve.level", t0, m.clock())
+		levelsDone.Inc()
+		m.mu.Lock()
+		jb.levelsDone = k + 1
+		jb.results = priors
+		var jerr error
+		if m.opt.Journal != nil {
+			jerr = m.opt.Journal.Level(jb.id, k, priors)
+		}
+		m.mu.Unlock()
+		if jerr != nil {
+			m.finish(jb, StateFailed, fmt.Sprintf("journaling level %d: %v", k, jerr), nil)
+			return
+		}
+		if m.opt.OnLevel != nil {
+			m.opt.OnLevel(jb.id, k)
+		}
+	}
+	m.finish(jb, StateDone, "", summarize(priors, ds.TrueOrientations()))
+}
+
+// park returns a running job to pending at a drain checkpoint; the
+// journal already holds everything a restart needs.
+func (m *Manager) park(jb *job) {
+	m.mu.Lock()
+	jb.state = StatePending
+	m.mu.Unlock()
+	m.logf("serve: parked %s at level %d/%d for drain", jb.id, jb.levelsDone, jb.spec.Levels)
+}
+
+// finish moves a job to a terminal state and journals it.
+func (m *Manager) finish(jb *job, state State, errMsg string, sum *Summary) {
+	m.mu.Lock()
+	m.terminalLocked(jb, state, errMsg, sum)
+	m.mu.Unlock()
+}
+
+// terminalLocked is finish with Manager.mu held.
+func (m *Manager) terminalLocked(jb *job, state State, errMsg string, sum *Summary) {
+	jb.state = state
+	jb.errMsg = errMsg
+	jb.summary = sum
+	jb.cancel()
+	switch state {
+	case StateDone:
+		jobsDone.Inc()
+	case StateFailed:
+		jobsFailed.Inc()
+	case StateCancelled:
+		jobsCancelled.Inc()
+	}
+	if m.opt.Journal != nil {
+		if err := m.opt.Journal.Terminal(jb.id, state, errMsg, sum); err != nil {
+			m.logf("serve: journaling terminal state of %s: %v", jb.id, err)
+		}
+	}
+	m.logf("serve: %s → %s %s", jb.id, state, errMsg)
+}
+
+// statusLocked snapshots a job's status with Manager.mu held.
+func (m *Manager) statusLocked(jb *job) JobStatus {
+	return JobStatus{
+		ID:          jb.id,
+		State:       jb.state,
+		Spec:        jb.spec,
+		Views:       jb.spec.Views,
+		LevelsDone:  jb.levelsDone,
+		LevelsTotal: jb.spec.Levels,
+		Shape:       m.shape,
+		SubmittedAt: jb.submittedAt,
+		Resumed:     jb.resumed,
+		Error:       jb.errMsg,
+		Summary:     jb.summary,
+	}
+}

@@ -1,0 +1,21 @@
+package serve
+
+import "repro/internal/obs"
+
+// Service metrics, registered in the global obs registry so the PR 4
+// exporters (GET /metrics on this very service, -metrics on the bench
+// commands) pick them up with no extra wiring. All are inert until
+// obs.SetEnabled(true) — cmd/refined enables instrumentation at boot.
+var (
+	jobsSubmitted = obs.NewCounter("serve.jobs.submitted")
+	jobsRejected  = obs.NewCounter("serve.jobs.rejected")
+	jobsResumed   = obs.NewCounter("serve.jobs.resumed")
+	jobsDone      = obs.NewCounter("serve.jobs.done")
+	jobsFailed    = obs.NewCounter("serve.jobs.failed")
+	jobsCancelled = obs.NewCounter("serve.jobs.cancelled")
+	levelsDone    = obs.NewCounter("serve.levels.refined")
+	// queueDepth observes the admission-queue occupancy at each
+	// successful submit — its histogram shows how close the service
+	// ran to backpressure.
+	queueDepth = obs.NewHistogram("serve.queue.depth", 8)
+)

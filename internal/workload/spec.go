@@ -8,6 +8,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/micrograph"
@@ -104,6 +105,22 @@ func AsymmetricSpec() DatasetSpec {
 		PaperL:     221,
 		PaperViews: 2000,
 	}
+}
+
+// SpecByName resolves a dataset name to its spec — the single
+// name→spec mapping shared by cmd/simulate and the refinement job
+// service. Both the short names ("sindbis") and the spec's own Name
+// field ("sindbis-like") are accepted.
+func SpecByName(name string) (DatasetSpec, error) {
+	switch name {
+	case "sindbis", "sindbis-like":
+		return SindbisSpec(), nil
+	case "reo", "reo-like":
+		return ReoSpec(), nil
+	case "asymmetric":
+		return AsymmetricSpec(), nil
+	}
+	return DatasetSpec{}, fmt.Errorf("workload: unknown dataset %q (want sindbis, reo or asymmetric)", name)
 }
 
 // Scaled returns a copy of the spec shrunk by the given factor on box
