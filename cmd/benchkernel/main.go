@@ -9,6 +9,16 @@
 // (9×9×9 orientations), and one full multi-resolution refinement of a
 // single view — the same fixtures as BenchmarkMatchKernel,
 // BenchmarkDistanceWindow and BenchmarkRefineOneView in bench_test.go.
+// The refinement runs twice, once with the default adaptive search and
+// once through the exhaustive oracle, so the report prices the
+// adaptive path against the flat scan it replaces
+// (distance_evals_per_view, evals_saved_frac, cut_cache_hit_rate).
+//
+// With -smoke the command instead acts as a CI gate: it skips the
+// timing loops, runs the adaptive path against the exhaustive oracle
+// once, and exits non-zero when evals_saved_frac < 0.5, when the
+// adaptive final error regresses against the oracle's, or when a
+// seeded rerun is not bit-identical.
 package main
 
 import (
@@ -46,10 +56,22 @@ type Report struct {
 	AllocsPerWindow   float64 `json:"allocs_per_window"`
 	NsPerRefineView   float64 `json:"ns_per_refine_view"`
 	RefineFinalErrDeg float64 `json:"refine_final_err_deg"`
+
+	// Adaptive-vs-exhaustive comparison: the refinement above runs the
+	// default adaptive search; the exhaustive fields rerun the same
+	// view through the flat-scan oracle.
+	SearchMode                  string  `json:"search_mode"`
+	DistanceEvalsPerView        float64 `json:"distance_evals_per_view"`
+	ExhaustiveEvalsPerView      float64 `json:"exhaustive_evals_per_view"`
+	EvalsSavedFrac              float64 `json:"evals_saved_frac"`
+	CutCacheHitRate             float64 `json:"cut_cache_hit_rate"`
+	NsPerRefineViewExhaustive   float64 `json:"ns_per_refine_view_exhaustive"`
+	RefineFinalErrExhaustiveDeg float64 `json:"refine_final_err_exhaustive_deg"`
 }
 
 func main() {
 	out := flag.String("o", "BENCH_kernel.json", "output path")
+	smoke := flag.Bool("smoke", false, "gate mode: skip the timing loops, compare the adaptive search against the exhaustive oracle and exit non-zero on regression")
 	var of benchutil.Flags
 	of.Register(flag.CommandLine)
 	flag.Parse()
@@ -80,48 +102,90 @@ func main() {
 		L:             l,
 		Pad:           pad,
 		BandSize:      r.BandSize(),
+		SearchMode:    string(core.SearchAdaptive),
 	}
 
-	match := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		var acc float64
-		for i := 0; i < b.N; i++ {
-			acc += r.Distance(pv, v.TrueOrient)
-		}
-		_ = acc
-	})
-	rep.NsPerMatch = float64(match.NsPerOp())
-	rep.MatchesPerSec = 1e9 / rep.NsPerMatch
-	rep.AllocsPerMatch = float64(match.AllocsPerOp())
-
-	w := geom.CenteredWindow(v.TrueOrient, 4, 1)
-	orients := w.Orientations()
-	dst := make([]float64, len(orients))
-	rep.WindowOrients = len(orients)
-	window := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			r.DistanceWindow(pv, orients, dst)
-		}
-	})
-	rep.NsPerWindow = float64(window.NsPerOp())
-	rep.NsPerWindowMatch = rep.NsPerWindow / float64(len(orients))
-	rep.AllocsPerWindow = float64(window.AllocsPerOp())
-
 	init := v.TrueOrient.Add(geom.Euler{Theta: 1.5, Phi: -1, Omega: 0.7})
-	var finalErr float64
-	refine := testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			fresh, err := r.PrepareView(v.Image, v.CTF)
-			if err != nil {
-				fatal(err)
+
+	// Deterministic comparison pass, independent of the timing loops:
+	// one adaptive refinement (plus a rerun for the bit-identity and
+	// steady-state cache-hit checks) against the exhaustive oracle.
+	resA := r.RefineView(mustPrepare(r, v), init)
+	h0, m0 := r.CutCacheStats()
+	resB := r.RefineView(mustPrepare(r, v), init)
+	h1, m1 := r.CutCacheStats()
+	identical := resA.Orient == resB.Orient && resA.Center == resB.Center && resA.Distance == resB.Distance
+
+	rx, err := core.NewRefiner(dft, core.DefaultConfig(l))
+	if err != nil {
+		fatal(err)
+	}
+	//replint:allow oracleguard the report's whole point is scoring the adaptive search against the exhaustive reference scan
+	resE := rx.ExhaustiveRefine(mustPrepare(rx, v), init)
+
+	rep.RefineFinalErrDeg = geom.AngularDistance(resA.Orient, v.TrueOrient)
+	rep.RefineFinalErrExhaustiveDeg = geom.AngularDistance(resE.Orient, v.TrueOrient)
+	rep.DistanceEvalsPerView = float64(resA.TotalMatchings())
+	rep.ExhaustiveEvalsPerView = float64(resE.TotalMatchings())
+	if rep.ExhaustiveEvalsPerView > 0 {
+		rep.EvalsSavedFrac = 1 - rep.DistanceEvalsPerView/rep.ExhaustiveEvalsPerView
+	}
+	// Hit rate of the second (warm-cache) refinement — the steady
+	// state a multi-view job converges to.
+	if dh, dm := h1-h0, m1-m0; dh+dm > 0 {
+		rep.CutCacheHitRate = float64(dh) / float64(dh+dm)
+	}
+
+	if !*smoke {
+		match := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc += r.Distance(pv, v.TrueOrient)
 			}
-			res := r.RefineView(fresh, init)
-			finalErr = geom.AngularDistance(res.Orient, v.TrueOrient)
+			_ = acc
+		})
+		rep.NsPerMatch = float64(match.NsPerOp())
+		rep.MatchesPerSec = 1e9 / rep.NsPerMatch
+		rep.AllocsPerMatch = float64(match.AllocsPerOp())
+
+		w := geom.CenteredWindow(v.TrueOrient, 4, 1)
+		orients := w.Orientations()
+		dst := make([]float64, len(orients))
+		rep.WindowOrients = len(orients)
+		window := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r.DistanceWindow(pv, orients, dst)
+			}
+		})
+		rep.NsPerWindow = float64(window.NsPerOp())
+		rep.NsPerWindowMatch = rep.NsPerWindow / float64(len(orients))
+		rep.AllocsPerWindow = float64(window.AllocsPerOp())
+
+		refine := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := r.RefineView(mustPrepare(r, v), init)
+				if res.Orient != resA.Orient {
+					fatal(fmt.Errorf("adaptive refinement diverged across reruns"))
+				}
+			}
+		})
+		rep.NsPerRefineView = float64(refine.NsPerOp())
+
+		// The exhaustive timing uses the production SearchExhaustive
+		// mode — the same code path the oracle forces.
+		rex, err := core.NewRefiner(dft, exhaustiveConfig(l))
+		if err != nil {
+			fatal(err)
 		}
-	})
-	rep.NsPerRefineView = float64(refine.NsPerOp())
-	rep.RefineFinalErrDeg = finalErr
+		refineEx := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rex.RefineView(mustPrepare(rex, v), init)
+			}
+		})
+		rep.NsPerRefineViewExhaustive = float64(refineEx.NsPerOp())
+	}
 
 	if err := stopObs(); err != nil {
 		fatal(err)
@@ -135,8 +199,54 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s: %.0f ns/match (%.0f matches/sec, %g allocs), %.2f ms/refine\n",
-		*out, rep.NsPerMatch, rep.MatchesPerSec, rep.AllocsPerMatch, rep.NsPerRefineView/1e6)
+
+	if *smoke {
+		// The CI gate: the adaptive search must stay cheap, accurate
+		// and deterministic relative to the exhaustive oracle.
+		ok := true
+		if rep.EvalsSavedFrac < 0.5 {
+			fmt.Fprintf(os.Stderr, "benchkernel: evals_saved_frac %.3f < 0.5 (adaptive %v vs exhaustive %v evals)\n",
+				rep.EvalsSavedFrac, rep.DistanceEvalsPerView, rep.ExhaustiveEvalsPerView)
+			ok = false
+		}
+		if rep.RefineFinalErrDeg > 1.10*rep.RefineFinalErrExhaustiveDeg+0.01 {
+			fmt.Fprintf(os.Stderr, "benchkernel: adaptive final error %.4f° regresses against exhaustive %.4f°\n",
+				rep.RefineFinalErrDeg, rep.RefineFinalErrExhaustiveDeg)
+			ok = false
+		}
+		if !identical {
+			fmt.Fprintln(os.Stderr, "benchkernel: seeded adaptive rerun was not bit-identical")
+			ok = false
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		fmt.Printf("smoke ok: %s — adaptive %v evals vs exhaustive %v (saved %.1f%%), err %.4f° vs %.4f°, cache hit rate %.2f\n",
+			*out, rep.DistanceEvalsPerView, rep.ExhaustiveEvalsPerView, 100*rep.EvalsSavedFrac,
+			rep.RefineFinalErrDeg, rep.RefineFinalErrExhaustiveDeg, rep.CutCacheHitRate)
+		return
+	}
+
+	fmt.Printf("wrote %s: %.0f ns/match (%.0f matches/sec, %g allocs), %.2f ms/refine (%.2f ms exhaustive, %.1f%% evals saved)\n",
+		*out, rep.NsPerMatch, rep.MatchesPerSec, rep.AllocsPerMatch,
+		rep.NsPerRefineView/1e6, rep.NsPerRefineViewExhaustive/1e6, 100*rep.EvalsSavedFrac)
+}
+
+// exhaustiveConfig is DefaultConfig with the flat window scan selected.
+func exhaustiveConfig(l int) core.Config {
+	cfg := core.DefaultConfig(l)
+	cfg.Search = core.SearchExhaustive
+	return cfg
+}
+
+// mustPrepare rebuilds fresh view state (refinement bakes centre
+// shifts into the band, so each run needs its own).
+func mustPrepare(r *core.Refiner, v *micrograph.View) *core.View {
+	pv, err := r.PrepareView(v.Image, v.CTF)
+	if err != nil {
+		fatal(err)
+	}
+	return pv
 }
 
 func fatal(err error) {

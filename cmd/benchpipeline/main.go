@@ -57,8 +57,11 @@ type Report struct {
 	View2DSpeedup   float64 `json:"view2d_speedup"`
 
 	// End-to-end refinement throughput.
-	ViewsPerSecBatch  float64 `json:"views_per_sec_batch"`
-	ViewsPerSecStream float64 `json:"views_per_sec_stream"`
+	SearchMode           string  `json:"search_mode"`
+	ViewsPerSecBatch     float64 `json:"views_per_sec_batch"`
+	ViewsPerSecStream    float64 `json:"views_per_sec_stream"`
+	DistanceEvalsPerView float64 `json:"distance_evals_per_view"`
+	CutCacheHitRate      float64 `json:"cut_cache_hit_rate"`
 
 	// Streaming-pass footprint.
 	AllocsPerView    float64 `json:"allocs_per_view"`
@@ -73,6 +76,7 @@ type Report struct {
 func main() {
 	out := flag.String("o", "BENCH_pipeline.json", "output path")
 	views := flag.Int("views", 24, "number of views to stream")
+	search := flag.String("search", string(core.SearchAdaptive), "orientation search mode: adaptive or exhaustive")
 	var of benchutil.Flags
 	of.Register(flag.CommandLine)
 	flag.Parse()
@@ -139,7 +143,10 @@ func main() {
 
 	// --- End-to-end throughput: batch vs streaming.
 	dft := fourier.NewVolumeDFTPadded(truth, pad)
-	r, err := core.NewRefiner(dft, core.DefaultConfig(l))
+	cfg := core.DefaultConfig(l)
+	cfg.Search = core.SearchMode(*search)
+	rep.SearchMode = *search
+	r, err := core.NewRefiner(dft, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -163,9 +170,15 @@ func main() {
 			}
 			pvs[i] = pv
 		}
-		if _, err := r.RefineBatch(context.Background(), pvs, inits, 0); err != nil {
+		results, err := r.RefineBatch(context.Background(), pvs, inits, 0)
+		if err != nil {
 			fatal(err)
 		}
+		var evals int
+		for i := range results {
+			evals += results[i].TotalMatchings()
+		}
+		rep.DistanceEvalsPerView = float64(evals) / float64(*views)
 	})
 	rep.ViewsPerSecBatch = float64(*views) / batchSecs
 
@@ -192,6 +205,9 @@ func main() {
 	rep.StreamFFTWorkers = fftW
 	rep.StreamRefiners = refW
 	rep.StreamDepth = depth
+	if hits, misses := r.CutCacheStats(); hits+misses > 0 {
+		rep.CutCacheHitRate = float64(hits) / float64(hits+misses)
+	}
 
 	if err := stopObs(); err != nil {
 		fatal(err)

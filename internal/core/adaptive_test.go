@@ -1,0 +1,289 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/micrograph"
+)
+
+// TestAdaptiveMatchesExhaustiveOracleSingleLevel: within one level the
+// seeded descent must land within RAngular/2 of the exhaustive window
+// argmin on converged views, while spending well under half the
+// distance evaluations. The starts are snapped onto the level's
+// lattice so both searches see the same candidate grid: the descent
+// walks the global RAngular lattice while the exhaustive window is
+// anchored at its (otherwise off-lattice) entry orientation.
+func TestAdaptiveMatchesExhaustiveOracleSingleLevel(t *testing.T) {
+	l := 24
+	dft, ds := testSetup(t, l, 5, micrograph.GenParams{Seed: 11})
+	cfg := quickConfig(l)
+	cfg.Schedule = []Level{{RAngular: 0.5, WindowHalf: 2, CenterDelta: 0.5, CenterHalf: 1}}
+	r, err := NewRefiner(dft, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := cfg.Schedule[0].RAngular
+	inits := ds.PerturbedOrientations(0.5, 12)
+	for i := range inits {
+		inits[i] = eulerOfKey(keyOf(inits[i], step), step)
+	}
+	var adaptiveEvals, exhaustiveEvals int
+	for i, v := range ds.Views {
+		pv, _ := r.PrepareView(v.Image, v.CTF)
+		res := r.RefineView(pv, inits[i])
+		ov, _ := r.PrepareView(v.Image, v.CTF)
+		oracle := r.ExhaustiveRefine(ov, inits[i])
+		if d := geom.AngularDistance(res.Orient, oracle.Orient); d > step/2 {
+			t.Errorf("view %d: adaptive %.4g° from exhaustive argmin (> RAngular/2 = %.4g°)",
+				i, d, step/2)
+		}
+		adaptiveEvals += res.TotalMatchings()
+		exhaustiveEvals += oracle.TotalMatchings()
+	}
+	if adaptiveEvals*2 > exhaustiveEvals {
+		t.Errorf("adaptive search used %d evals vs exhaustive %d — saved less than half",
+			adaptiveEvals, exhaustiveEvals)
+	}
+}
+
+// TestAdaptiveMatchesExhaustiveOracleSchedule: across the full
+// multi-level schedule the two searches may settle in different
+// near-equal fine-scale minima (their candidate grids differ once the
+// level windows recenter), so the invariant is quality parity, not
+// argmin identity: per view, the adaptive result must either be within
+// one final-level cell of the exhaustive argmin or match it on final
+// error against ground truth — and must spend under half the evals.
+func TestAdaptiveMatchesExhaustiveOracleSchedule(t *testing.T) {
+	l := 24
+	dft, ds := testSetup(t, l, 5, micrograph.GenParams{Seed: 11})
+	cfg := quickConfig(l)
+	r, err := NewRefiner(dft, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalStep := cfg.Schedule[len(cfg.Schedule)-1].RAngular
+	inits := ds.PerturbedOrientations(0.5, 12)
+	var adaptiveEvals, exhaustiveEvals int
+	for i, v := range ds.Views {
+		pv, _ := r.PrepareView(v.Image, v.CTF)
+		res := r.RefineView(pv, inits[i])
+		ov, _ := r.PrepareView(v.Image, v.CTF)
+		oracle := r.ExhaustiveRefine(ov, inits[i])
+		gap := geom.AngularDistance(res.Orient, oracle.Orient)
+		errA := geom.AngularDistance(res.Orient, v.TrueOrient)
+		errE := geom.AngularDistance(oracle.Orient, v.TrueOrient)
+		if gap > finalStep && errA > 1.10*errE+0.05 {
+			t.Errorf("view %d: adaptive %.4g° from exhaustive argmin with final error %.4g° vs %.4g°",
+				i, gap, errA, errE)
+		}
+		adaptiveEvals += res.TotalMatchings()
+		exhaustiveEvals += oracle.TotalMatchings()
+	}
+	if adaptiveEvals*2 > exhaustiveEvals {
+		t.Errorf("adaptive search used %d evals vs exhaustive %d — saved less than half",
+			adaptiveEvals, exhaustiveEvals)
+	}
+}
+
+// TestAdaptiveDeterministicAcrossWorkers: the adaptive path must be
+// bit-identical between the serial entry point and batch runs at any
+// worker count — the probe streams depend only on (seed, level, entry
+// orientation), never on scheduling.
+func TestAdaptiveDeterministicAcrossWorkers(t *testing.T) {
+	l := 20
+	dft, ds := testSetup(t, l, 6, micrograph.GenParams{Seed: 21})
+	cfg := quickConfig(l)
+	cfg.SearchSeed = 77
+	r, err := NewRefiner(dft, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inits := ds.PerturbedOrientations(2, 22)
+
+	var serial []Result
+	for i, v := range ds.Views {
+		pv, _ := r.PrepareView(v.Image, v.CTF)
+		serial = append(serial, r.RefineView(pv, inits[i]))
+	}
+	for _, workers := range []int{1, 2, 8} {
+		var views []*View
+		for _, v := range ds.Views {
+			pv, _ := r.PrepareView(v.Image, v.CTF)
+			views = append(views, pv)
+		}
+		res, err := r.RefineBatch(context.Background(), views, inits, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, res) {
+			t.Fatalf("workers=%d: batch results differ from serial RefineView", workers)
+		}
+	}
+}
+
+// TestAdaptiveSeedChangesProbes: different SearchSeeds must actually
+// produce different probe streams (the descent is genuinely seeded,
+// not ignoring the seed), while each seed remains self-consistent.
+func TestAdaptiveSeedChangesProbes(t *testing.T) {
+	rngA := newSearchRNG(1, 0, geom.Euler{Theta: 10, Phi: 20, Omega: 30})
+	rngB := newSearchRNG(2, 0, geom.Euler{Theta: 10, Phi: 20, Omega: 30})
+	rngC := newSearchRNG(1, 0, geom.Euler{Theta: 10, Phi: 20, Omega: 30})
+	differ := false
+	for i := 0; i < 16; i++ {
+		a, b, c := rngA.offset(4), rngB.offset(4), rngC.offset(4)
+		if a != b {
+			differ = true
+		}
+		if a != c {
+			t.Fatal("identical seeds produced different streams")
+		}
+		if a < -4 || a > 4 {
+			t.Fatalf("offset %d outside [-4, 4]", a)
+		}
+	}
+	if !differ {
+		t.Error("seeds 1 and 2 produced identical 16-draw streams")
+	}
+}
+
+// TestAdaptiveResumeFromJournaledCheckpoint: an adaptive refinement
+// interrupted mid-schedule and resumed from a JSON round-trip of its
+// checkpoint (exactly what the serve journal stores) must finish
+// bit-identically to the uninterrupted run. The probe streams reseed
+// per level from the journaled entry orientation, so the resumed
+// levels replay the identical descents.
+func TestAdaptiveResumeFromJournaledCheckpoint(t *testing.T) {
+	l := 20
+	dft, ds := testSetup(t, l, 4, micrograph.GenParams{Seed: 31, CenterJitter: 1})
+	cfg := quickConfig(l)
+	cfg.SearchSeed = 5
+	r, err := NewRefiner(dft, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturb := geom.Euler{Theta: 1.2, Phi: -0.8, Omega: 0.5}
+	n, src := datasetSource(ds, perturb)
+	ctx := context.Background()
+	opt := StreamOptions{Depth: 2, FFTWorkers: 2, RefineWorkers: 2}
+
+	want, err := r.RefineStream(ctx, n, src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpoint after level 0, round-trip through JSON (the journal's
+	// storage format), resume the rest of the schedule.
+	priors := make([]Result, n)
+	for i := 0; i < n; i++ {
+		it, _ := src(i)
+		priors[i] = Result{Orient: it.Init}
+	}
+	priors, err = r.RefineStreamLevels(ctx, n, src, priors, 0, 1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(priors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored []Result
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.RefineStreamLevels(ctx, n, src, restored, 1, len(cfg.Schedule), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		for i := range want {
+			if !reflect.DeepEqual(want[i], got[i]) {
+				t.Errorf("view %d: uninterrupted %+v vs resumed %+v", i, want[i], got[i])
+			}
+		}
+		t.Fatal("journaled resume diverged from uninterrupted adaptive run")
+	}
+}
+
+// TestAdaptiveVirtualWindowSlides: a start far outside the level
+// window must still be recovered via virtual-window slides, and the
+// slides must be recorded just like the flat scan's.
+func TestAdaptiveVirtualWindowSlides(t *testing.T) {
+	l := 24
+	dft, ds := testSetup(t, l, 1, micrograph.GenParams{Seed: 41})
+	cfg := quickConfig(l)
+	cfg.Schedule = []Level{{RAngular: 1, WindowHalf: 3, CenterDelta: 1, CenterHalf: 1}}
+	r, err := NewRefiner(dft, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ds.Views[0]
+	pv, _ := r.PrepareView(v.Image, v.CTF)
+	init := v.TrueOrient.Add(geom.Euler{Theta: 5, Phi: -6, Omega: 5})
+	res := r.RefineView(pv, init)
+	if res.PerLevel[0].Slides == 0 {
+		t.Error("expected virtual-window slides from a far-off start")
+	}
+	after := geom.AngularDistance(res.Orient, v.TrueOrient)
+	if after > 1.5 {
+		t.Errorf("far-off start not recovered: %.3g° residual", after)
+	}
+}
+
+// TestSearchConfigValidate: unknown search modes and negative search
+// parameters are rejected up front.
+func TestSearchConfigValidate(t *testing.T) {
+	cfg := DefaultConfig(16)
+	cfg.Search = "simulated-annealing"
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown search mode accepted")
+	}
+	cfg = DefaultConfig(16)
+	cfg.SearchProbes = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative SearchProbes accepted")
+	}
+	cfg = DefaultConfig(16)
+	cfg.ExhaustiveLevels = -2
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative ExhaustiveLevels accepted")
+	}
+	for _, mode := range []SearchMode{"", SearchExhaustive, SearchAdaptive} {
+		cfg = DefaultConfig(16)
+		cfg.Search = mode
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("mode %q rejected: %v", mode, err)
+		}
+	}
+}
+
+// TestExhaustiveLevelsForcesScan: with ExhaustiveLevels set, the early
+// levels run the flat scan (window-sized eval counts) and later levels
+// switch to the descent.
+func TestExhaustiveLevelsForcesScan(t *testing.T) {
+	l := 20
+	dft, ds := testSetup(t, l, 1, micrograph.GenParams{Seed: 51})
+	cfg := quickConfig(l)
+	cfg.ExhaustiveLevels = 1
+	r, err := NewRefiner(dft, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ds.Views[0]
+	pv, _ := r.PrepareView(v.Image, v.CTF)
+	res := r.RefineView(pv, v.TrueOrient.Add(geom.Euler{Theta: 1, Phi: -1, Omega: 0.5}))
+	// Level 0 scanned a full 9×9×9 window: at least window-size evals.
+	if res.PerLevel[0].Matchings < 729 {
+		t.Errorf("level 0 ran %d matchings, expected a full window scan (≥729)", res.PerLevel[0].Matchings)
+	}
+	if res.PerLevel[0].DescentMoves != 0 {
+		t.Errorf("level 0 recorded %d descent moves under forced scan", res.PerLevel[0].DescentMoves)
+	}
+	// Level 1 descended: far fewer evals than its 729-cell window.
+	if res.PerLevel[1].Matchings >= 729 {
+		t.Errorf("level 1 ran %d matchings, expected an adaptive descent (<729)", res.PerLevel[1].Matchings)
+	}
+}

@@ -78,6 +78,27 @@ func DefaultSchedule() []Level {
 	}
 }
 
+// SearchMode selects how a schedule level's orientation window is
+// searched.
+type SearchMode string
+
+const (
+	// SearchExhaustive scores every orientation of the sliding window —
+	// the paper's steps f–i verbatim. It is also what the zero value ""
+	// resolves to, so hand-built Configs keep their historical
+	// behaviour.
+	SearchExhaustive SearchMode = "exhaustive"
+	// SearchAdaptive replaces the flat scan with seeded stochastic
+	// hill-climbing over the level's orientation lattice: only the
+	// neighborhood of the current best (plus a few random probes) is
+	// scored per move, cutting distance evaluations by an order of
+	// magnitude once a view is converging. Results are deterministic —
+	// the probe streams derive from Config.SearchSeed, never global
+	// rand — and the flat scan remains available as the correctness
+	// oracle (Refiner.ExhaustiveRefine).
+	SearchAdaptive SearchMode = "adaptive"
+)
+
 // Config controls the refiner.
 type Config struct {
 	// RMap is the Fourier radius r_map (in frequency-index units):
@@ -130,11 +151,31 @@ type Config struct {
 	// should be attenuated identically. Most effective together with
 	// CorrectCTF + PhaseFlip.
 	CTFWeightCuts bool
+	// Search selects the per-level orientation search. The zero value
+	// resolves to SearchExhaustive for backward compatibility;
+	// DefaultConfig selects SearchAdaptive.
+	Search SearchMode
+	// SearchSeed seeds the adaptive descent's deterministic probe
+	// streams (per level and per level-entry orientation). Two runs
+	// with the same seed are bit-identical regardless of worker count.
+	SearchSeed int64
+	// SearchProbes is how many random lattice probes the adaptive
+	// descent adds to each neighborhood batch (0 selects 2). More
+	// probes escape shallow local minima at proportionally more
+	// distance evaluations.
+	SearchProbes int
+	// ExhaustiveLevels forces the flat window scan on the first n
+	// schedule levels even under SearchAdaptive, for callers whose
+	// initial orientations are too rough to trust a descent. The
+	// default 0 runs the descent everywhere — its virtual sliding
+	// window (see DESIGN.md §12) already covers edge-chasing starts.
+	ExhaustiveLevels int
 }
 
 // DefaultConfig returns a production configuration for maps of size l:
 // r_map at 80% of Nyquist, trilinear cuts, least-squares scaling,
-// the paper's schedule, and at most 10 window slides.
+// the paper's schedule, adaptive orientation search, and at most 10
+// window slides.
 func DefaultConfig(l int) Config {
 	return Config{
 		RMap:            0.8 * float64(l) / 2,
@@ -143,7 +184,27 @@ func DefaultConfig(l int) Config {
 		MaxSlides:       10,
 		NormalizeScale:  true,
 		ParabolicCenter: true,
+		Search:          SearchAdaptive,
 	}
+}
+
+// searchModeAt resolves the orientation-search mode of schedule level
+// li: adaptive configurations still run the flat scan on the first
+// ExhaustiveLevels levels, and every other Search value — including
+// the zero value — is the exhaustive scan.
+func (c *Config) searchModeAt(li int) SearchMode {
+	if c.Search == SearchAdaptive && li >= c.ExhaustiveLevels {
+		return SearchAdaptive
+	}
+	return SearchExhaustive
+}
+
+// effSearchProbes resolves the zero-means-default probe count.
+func (c *Config) effSearchProbes() int {
+	if c.SearchProbes == 0 {
+		return 2
+	}
+	return c.SearchProbes
 }
 
 // Validate reports configuration errors.
@@ -171,6 +232,17 @@ func (c *Config) Validate() error {
 	if c.MaxSlides < 0 {
 		return fmt.Errorf("core: MaxSlides must be non-negative")
 	}
+	switch c.Search {
+	case "", SearchExhaustive, SearchAdaptive:
+	default:
+		return fmt.Errorf("core: unknown search mode %q", c.Search)
+	}
+	if c.SearchProbes < 0 {
+		return fmt.Errorf("core: SearchProbes must be non-negative")
+	}
+	if c.ExhaustiveLevels < 0 {
+		return fmt.Errorf("core: ExhaustiveLevels must be non-negative")
+	}
 	return nil
 }
 
@@ -180,8 +252,15 @@ type LevelStats struct {
 	// (each is one "matching operation": construct a cut, compute the
 	// distance — paper §4).
 	Matchings int
-	// Slides is how many times the sliding window was re-centred.
+	// Slides is how many times the sliding window was re-centred. The
+	// adaptive descent counts slides of its virtual window — each time
+	// the best orientation wanders more than the window half-width from
+	// the current centre — so the field means the same thing in both
+	// search modes.
 	Slides int
+	// DescentMoves is how many times the adaptive descent moved its
+	// best orientation (0 under the exhaustive scan).
+	DescentMoves int
 	// CenterEvals is the number of centre-shift distance evaluations.
 	CenterEvals int
 	// CenterSlides is how many times the centre box was re-centred.

@@ -43,11 +43,16 @@ type matcher struct {
 	fh, fk, wt []float64
 	// invL2 normalizes distances to the paper's 1/l² scale.
 	invL2 float64
+	// cuts memoizes reference cuts at lattice orientations for the
+	// adaptive search; shared (and concurrency-safe) across all workers
+	// so views descending over the same level grid reuse each other's
+	// interpolated cuts.
+	cuts *fourier.CutCache
 }
 
 func newMatcher(dft *fourier.VolumeDFT, cfg Config) *matcher {
 	l := dft.SrcL
-	m := &matcher{dft: dft, smp: dft.NewSampler(cfg.Interp), cfg: cfg, l: l, invL2: 1 / float64(l*l)}
+	m := &matcher{dft: dft, smp: dft.NewSampler(cfg.Interp), cfg: cfg, l: l, invL2: 1 / float64(l*l), cuts: fourier.NewCutCache(0)}
 	rmax := math.Min(cfg.RMap, float64(l)/2)
 	ri := int(rmax)
 	for h := -ri; h <= ri; h++ {
@@ -150,8 +155,26 @@ type matchScratch struct {
 	centerCut []complex128          // fixed best cut during centre refinement
 	orients   []geom.Euler          // current window grid
 	pending   []geom.Euler          // uncached subset of the window
-	dists     []float64             // batched distances for pending
+	keys      []orientKey           // adaptive candidate batch (lattice keys)
+	pendKeys  []orientKey           // uncached subset of keys
+	dists     []float64             // batched distances for pending/pendKeys
 	cache     map[orientKey]float64 // per-level distance memo across window slides
+}
+
+// growDists returns a length-n distance buffer, growing the backing
+// array geometrically so the adaptive path's many small candidate
+// batches and the flat scan's occasional large windows share one
+// steady-state allocation (the same pattern sc.pending follows through
+// append).
+func (sc *matchScratch) growDists(n int) []float64 {
+	if cap(sc.dists) < n {
+		newCap := 2 * cap(sc.dists)
+		if newCap < n {
+			newCap = n
+		}
+		sc.dists = make([]float64, newCap)
+	}
+	return sc.dists[:n]
 }
 
 // newScratch allocates worker scratch sized to the full band.
@@ -310,6 +333,50 @@ func (m *matcher) distanceWindow(vd *viewData, orients []geom.Euler, n int, sc *
 		m.sampleCut(cut, vd.refW, o)
 		dst[i] = m.distanceToCut(vd, cut)
 	}
+}
+
+// distanceLattice scores candidate lattice orientations (key · step
+// degrees per axis) in one batched call, writing dst[i] for keys[i].
+// Reference cuts come from the shared orientation-quantized cut cache:
+// lattice candidates are exact cache keys, so every view descending
+// over a level's grid reuses cuts any other view (or worker) already
+// interpolated there.
+//
+//repro:hotpath
+func (m *matcher) distanceLattice(vd *viewData, keys []orientKey, step float64, n int, sc *matchScratch, dst []float64) {
+	matchDistanceEvals.Add(int64(len(keys)))
+	for i, k := range keys {
+		cut := m.latticeCut(k, step, n)
+		if vd.refW != nil {
+			// A CTF-weighted comparison cannot consume the shared raw
+			// cut directly — apply the view's cut weights into worker
+			// scratch.
+			w := sc.cut[:n]
+			for j, c := range cut {
+				wj := vd.refW[j]
+				w[j] = complex(real(c)*wj, imag(c)*wj)
+			}
+			cut = w
+		}
+		dst[i] = m.distanceToCut(vd, cut)
+	}
+}
+
+// latticeCut returns the shared reference cut at lattice key k —
+// served from the cut cache when present, sampled and published
+// otherwise. Every worker materializes the identical float64 angles
+// for a given key (eulerOfKey is exact), so the cached coefficients
+// are bit-identical to a fresh sample and the returned slice is safe
+// to share; callers must treat it as immutable.
+func (m *matcher) latticeCut(k orientKey, step float64, n int) []complex128 {
+	ck := fourier.CutKey{Step: step, T: k[0], P: k[1], O: k[2], N: n}
+	if cut, ok := m.cuts.Get(ck); ok {
+		return cut
+	}
+	cut := make([]complex128, n)
+	rot := eulerOfKey(k, step).Matrix()
+	m.smp.SampleCut(cut, m.fh[:n], m.fk[:n], rot.Col(0), rot.Col(1))
+	return m.cuts.Put(ck, cut)
 }
 
 // shiftedDistance evaluates the distance between the view shifted by

@@ -17,6 +17,7 @@ var (
 	levelSlides       = obs.NewCounterVec("core.level.slides", maxLevelCells)
 	levelCenterEvals  = obs.NewCounterVec("core.level.center_evals", maxLevelCells)
 	levelCenterSlides = obs.NewCounterVec("core.level.center_slides", maxLevelCells)
+	levelDescentMoves = obs.NewCounterVec("core.level.descent_moves", maxLevelCells)
 
 	viewsRefined = obs.NewCounter("core.views_refined")
 	streamViews  = obs.NewCounter("core.stream.views")
@@ -32,4 +33,5 @@ func recordLevelStats(li int, st LevelStats) {
 	levelSlides.Add(li, int64(st.Slides))
 	levelCenterEvals.Add(li, int64(st.CenterEvals))
 	levelCenterSlides.Add(li, int64(st.CenterSlides))
+	levelDescentMoves.Add(li, int64(st.DescentMoves))
 }

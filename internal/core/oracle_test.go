@@ -316,6 +316,10 @@ func TestRefineViewMatchesOracleRefinement(t *testing.T) {
 	ds := micrograph.Generate(truth, micrograph.GenParams{NumViews: 3, PixelA: 2, Seed: 61, CenterJitter: 1})
 	dft := fourier.NewVolumeDFTPadded(truth, 2)
 	cfg := DefaultConfig(l)
+	// The scalar oracle below mirrors the flat sliding-window scan;
+	// pin it so the production side runs the same search (the adaptive
+	// descent has its own oracle comparison in adaptive_test.go).
+	cfg.Search = SearchExhaustive
 	cfg.Schedule = []Level{
 		{RAngular: 1, WindowHalf: 4, CenterDelta: 1, CenterHalf: 1},
 		{RAngular: 0.1, WindowHalf: 0.4, CenterDelta: 0.1, CenterHalf: 1},

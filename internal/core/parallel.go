@@ -181,7 +181,11 @@ func (r *Refiner) RefineOnCluster(
 		for li, lv := range r.cfg.Schedule {
 			lv := lv
 			runIndexedLabeled("core.refine.level", len(myIdx), nodeWorkers, func(w, i int) {
-				sts[i] = r.refineLevel(myViews[i].vd, &states[i], lv, scratches[w])
+				// Same (seed, level, entry-orientation) stream as the
+				// serial path, so cluster refinement is bit-identical
+				// to RefineView regardless of node count.
+				rng := newSearchRNG(r.cfg.SearchSeed, li, states[i].Orient)
+				sts[i] = r.refineLevel(myViews[i].vd, &states[i], lv, scratches[w], &rng, r.cfg.searchModeAt(li))
 			})
 			for i, q := range myIdx {
 				st := sts[i]

@@ -115,6 +115,29 @@ func keyOf(o geom.Euler, step float64) orientKey {
 	}
 }
 
+// eulerOfKey materializes the orientation at lattice key k — the exact
+// inverse of keyOf for on-grid orientations. Every worker computes the
+// identical float64 angles for a given key, which is what makes
+// lattice keys safe as shared cut-cache keys.
+func eulerOfKey(k orientKey, step float64) geom.Euler {
+	return geom.Euler{Theta: float64(k[0]) * step, Phi: float64(k[1]) * step, Omega: float64(k[2]) * step}
+}
+
+// chebyshevGT reports whether a and b differ by more than h cells on
+// any axis — the lattice form of "outside the window half-width".
+func chebyshevGT(a, b orientKey, h int64) bool {
+	for i := 0; i < 3; i++ {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > h {
+			return true
+		}
+	}
+	return false
+}
+
 // RefineView runs the full multi-resolution refinement (steps f–n) for
 // one prepared view starting from the initial orientation. It returns
 // the refined orientation, centre offset and per-level statistics.
@@ -142,11 +165,43 @@ func (r *Refiner) refineViewRange(v *View, res Result, start, stop int, sc *matc
 	viewsRefined.Inc()
 	res.PerLevel = append([]LevelStats(nil), res.PerLevel...)
 	for li := start; li < stop; li++ {
-		st := r.refineLevel(v.vd, &res, r.cfg.Schedule[li], sc)
+		rng := newSearchRNG(r.cfg.SearchSeed, li, res.Orient)
+		st := r.refineLevel(v.vd, &res, r.cfg.Schedule[li], sc, &rng, r.cfg.searchModeAt(li))
 		recordLevelStats(li, st)
 		res.PerLevel = append(res.PerLevel, st)
 	}
 	return res
+}
+
+// ExhaustiveRefine runs the full multi-resolution refinement with the
+// paper's flat sliding-window scan forced at every level, regardless
+// of Config.Search. It is kept as the correctness reference the
+// adaptive descent is validated against (the oracle test suite and the
+// bench smoke gate); production callers wanting this behaviour must
+// configure Search: SearchExhaustive instead.
+//
+//repro:oracle
+func (r *Refiner) ExhaustiveRefine(v *View, init geom.Euler) Result {
+	sc := r.getScratch()
+	defer r.putScratch(sc)
+	viewsRefined.Inc()
+	res := Result{Orient: init}
+	for li := range r.cfg.Schedule {
+		rng := newSearchRNG(r.cfg.SearchSeed, li, res.Orient)
+		st := r.refineLevel(v.vd, &res, r.cfg.Schedule[li], sc, &rng, SearchExhaustive)
+		recordLevelStats(li, st)
+		res.PerLevel = append(res.PerLevel, st)
+	}
+	return res
+}
+
+// CutCacheStats reports the orientation-quantized cut cache's
+// cumulative hit/miss counts. Only the adaptive search routes through
+// the cache (the flat scan's windows sit on view-specific off-lattice
+// grids and sample cuts directly), so the rate measures adaptive
+// traffic alone.
+func (r *Refiner) CutCacheStats() (hits, misses int64) {
+	return r.m.cuts.Stats()
 }
 
 // ApplyShift bakes an additional centre shift into a prepared view's
@@ -163,10 +218,12 @@ func (r *Refiner) ApplyShift(v *View, dx, dy float64) {
 // Orientation search (steps f–j) and centre refinement (steps k–l)
 // are coupled — a mis-centred view biases the orientation search and
 // vice versa — so the level alternates the two until neither moves
-// (at most maxLevelIters rounds).
+// (at most maxLevelIters rounds). mode selects how the orientation
+// window is searched: the flat exhaustive scan or the seeded adaptive
+// descent (rng carries the level's probe stream; the scan ignores it).
 //
 //repro:hotpath
-func (r *Refiner) refineLevel(vd *viewData, res *Result, lv Level, sc *matchScratch) LevelStats {
+func (r *Refiner) refineLevel(vd *viewData, res *Result, lv Level, sc *matchScratch, rng *searchRNG, mode SearchMode) LevelStats {
 	const maxLevelIters = 4
 	var st LevelStats
 	n := r.m.prefixLen(lv.effRMapFrac() * r.cfg.RMap)
@@ -174,9 +231,7 @@ func (r *Refiner) refineLevel(vd *viewData, res *Result, lv Level, sc *matchScra
 		n = len(r.m.band)
 	}
 	st.BandUsed = n
-	for k := range sc.cache {
-		delete(sc.cache, k)
-	}
+	clear(sc.cache)
 
 	for iter := 0; iter < maxLevelIters; iter++ {
 		// Steps k–l first within each round: a mis-centred view
@@ -200,58 +255,28 @@ func (r *Refiner) refineLevel(vd *viewData, res *Result, lv Level, sc *matchScra
 				// and would otherwise cause endless alternation.
 				if math.Hypot(dx, dy) >= 0.25*lv.CenterDelta {
 					shifted = true
-					for k := range sc.cache {
-						delete(sc.cache, k)
-					}
+					// The cached distances were measured against the
+					// old centre; the cut cache needs no such
+					// invalidation (cuts are view-independent).
+					clear(sc.cache)
 				}
 			}
 		}
 
-		// Steps f–i: sliding-window orientation search. Each window is
-		// scored as one batched kernel call over the orientations not
-		// already in the level cache; the argmin then walks the window
-		// in grid order, so the selected orientation is identical to a
-		// scalar orientation-at-a-time scan.
-		w := geom.CenteredWindow(res.Orient, lv.WindowHalf, lv.RAngular)
-		best, bestD := res.Orient, math.Inf(1)
-		for {
-			sc.orients = w.AppendOrientations(sc.orients[:0])
-			sc.pending = sc.pending[:0]
-			for _, o := range sc.orients {
-				k := keyOf(o, lv.RAngular)
-				if _, ok := sc.cache[k]; !ok {
-					sc.cache[k] = math.NaN() // claimed; value lands below
-					//replint:allow hotpathalloc sc.pending is worker-owned scratch that reaches steady-state capacity after the first window of a run
-					sc.pending = append(sc.pending, o)
-				}
-			}
-			if cap(sc.dists) < len(sc.pending) {
-				sc.dists = make([]float64, len(sc.pending))
-			}
-			dists := sc.dists[:len(sc.pending)]
-			r.m.distanceWindow(vd, sc.pending, n, sc, dists)
-			for i, o := range sc.pending {
-				sc.cache[keyOf(o, lv.RAngular)] = dists[i]
-			}
-			st.Matchings += len(sc.pending)
-			for _, o := range sc.orients {
-				if d := sc.cache[keyOf(o, lv.RAngular)]; d < bestD {
-					bestD = d
-					best = o
-				}
-			}
-			if !w.OnEdge(best) || st.Slides >= r.cfg.MaxSlides {
-				break
-			}
-			w = w.Recenter(best)
-			st.Slides++
+		// Steps f–i: orientation search over the level window.
+		var best geom.Euler
+		var bestD float64
+		if mode == SearchAdaptive {
+			best, bestD = r.descendOrientations(vd, res.Orient, lv, n, &st, sc, rng)
+		} else {
+			best, bestD = r.scanOrientations(vd, res.Orient, lv, n, &st, sc)
 		}
 		moved := geom.AngularDistance(best, res.Orient) > lv.RAngular/2
 		res.Orient = best
 		res.Distance = bestD
 
 		// Without centre refinement the view never changes, so one
-		// pass of the (sliding) window search is complete; with it,
+		// pass of the orientation search is complete; with it,
 		// alternate until neither the centre nor the orientation
 		// moves.
 		if lv.CenterDelta <= 0 || lv.CenterHalf <= 0 || (!shifted && !moved) {
@@ -259,6 +284,179 @@ func (r *Refiner) refineLevel(vd *viewData, res *Result, lv Level, sc *matchScra
 		}
 	}
 	return st
+}
+
+// scanOrientations is the paper's flat sliding-window search (steps
+// f–i): every window orientation is scored as one batched kernel call
+// over the orientations not already in the level cache; the argmin
+// then walks the window in grid order, so the selected orientation is
+// identical to a scalar orientation-at-a-time scan. The window slides
+// whenever the argmin lands on its edge, at most MaxSlides times.
+//
+//repro:hotpath
+func (r *Refiner) scanOrientations(vd *viewData, start geom.Euler, lv Level, n int, st *LevelStats, sc *matchScratch) (geom.Euler, float64) {
+	w := geom.CenteredWindow(start, lv.WindowHalf, lv.RAngular)
+	best, bestD := start, math.Inf(1)
+	for {
+		sc.orients = w.AppendOrientations(sc.orients[:0])
+		sc.pending = sc.pending[:0]
+		for _, o := range sc.orients {
+			k := keyOf(o, lv.RAngular)
+			if _, ok := sc.cache[k]; !ok {
+				sc.cache[k] = math.NaN() // claimed; value lands below
+				//replint:allow hotpathalloc sc.pending is worker-owned scratch that reaches steady-state capacity after the first window of a run
+				sc.pending = append(sc.pending, o)
+			}
+		}
+		dists := sc.growDists(len(sc.pending))
+		r.m.distanceWindow(vd, sc.pending, n, sc, dists)
+		for i, o := range sc.pending {
+			sc.cache[keyOf(o, lv.RAngular)] = dists[i]
+		}
+		st.Matchings += len(sc.pending)
+		for _, o := range sc.orients {
+			if d := sc.cache[keyOf(o, lv.RAngular)]; d < bestD {
+				bestD = d
+				best = o
+			}
+		}
+		if !w.OnEdge(best) || st.Slides >= r.cfg.MaxSlides {
+			break
+		}
+		w = w.Recenter(best)
+		st.Slides++
+	}
+	return best, bestD
+}
+
+// maxDryRounds is how many consecutive non-improving descent rounds
+// the adaptive search tolerates before stopping: each dry round still
+// draws fresh random probes, so the stop criterion is "neighborhood
+// plus ~maxDryRounds·SearchProbes window samples found nothing
+// better", not merely "the 26 neighbors found nothing".
+const maxDryRounds = 4
+
+// descendOrientations is the adaptive orientation search: seeded
+// stochastic hill-climbing over the level's orientation lattice
+// (step lv.RAngular per axis). Each round scores the 3×3×3
+// neighborhood of the current best plus SearchProbes random probes
+// within the window half-width — one batched kernel call over the
+// not-yet-cached candidates — and moves to the round's argmin. A
+// virtual window tracks the paper's sliding rule: when the best
+// wanders more than the window half-width from the current centre the
+// window recentres and counts a slide, bounded by MaxSlides exactly
+// like the flat scan.
+//
+// Candidates are global lattice cells (orientation = key · step), so
+// the per-level distance memo and the shared cut cache key them
+// exactly. The off-lattice starting orientation is evaluated as the
+// baseline: the descent only replaces it with a strictly better
+// lattice point, so snapping to the grid can never regress a level.
+func (r *Refiner) descendOrientations(vd *viewData, start geom.Euler, lv Level, n int, st *LevelStats, sc *matchScratch, rng *searchRNG) (geom.Euler, float64) {
+	step := lv.RAngular
+	h := int64(math.Round(lv.WindowHalf / step))
+	if h < 1 {
+		h = 1
+	}
+	probes := r.cfg.effSearchProbes()
+
+	baseD := r.m.distance(vd, start, n, sc)
+	st.Matchings++
+
+	best := keyOf(start, step)
+	center := best // virtual window centre
+	bestD := math.Inf(1)
+
+	// Seed round: a stride-h super-lattice over the window ({-h, 0, h}
+	// per axis around the start) buys a coarse global picture of the
+	// whole window for up to 27 evaluations, so the descent begins in
+	// the window's best basin rather than the nearest one — the cheap
+	// stand-in for what the flat scan's full-window argmin provides.
+	sc.keys = sc.keys[:0]
+	for dt := -h; dt <= h; dt += h {
+		for dp := -h; dp <= h; dp += h {
+			for do := -h; do <= h; do += h {
+				sc.keys = append(sc.keys, orientKey{center[0] + dt, center[1] + dp, center[2] + do})
+			}
+		}
+	}
+	r.scoreLatticeKeys(vd, step, n, st, sc)
+	for _, k := range sc.keys {
+		if d := sc.cache[k]; d < bestD {
+			bestD, best = d, k
+		}
+	}
+
+	for dry := 0; dry < maxDryRounds; {
+		sc.keys = appendLatticeNeighbors(sc.keys[:0], best)
+		for p := 0; p < probes; p++ {
+			sc.keys = append(sc.keys, orientKey{
+				best[0] + rng.offset(h),
+				best[1] + rng.offset(h),
+				best[2] + rng.offset(h),
+			})
+		}
+		r.scoreLatticeKeys(vd, step, n, st, sc)
+		prev := best
+		for _, k := range sc.keys {
+			if d := sc.cache[k]; d < bestD {
+				bestD, best = d, k
+			}
+		}
+		if best == prev {
+			dry++
+			continue
+		}
+		dry = 0
+		st.DescentMoves++
+		if chebyshevGT(best, center, h) {
+			if st.Slides >= r.cfg.MaxSlides {
+				break
+			}
+			center = best
+			st.Slides++
+		}
+	}
+	if bestD < baseD {
+		return eulerOfKey(best, step), bestD
+	}
+	return start, baseD
+}
+
+// appendLatticeNeighbors appends the 3×3×3 cell neighborhood of c
+// (including c itself) to dst.
+func appendLatticeNeighbors(dst []orientKey, c orientKey) []orientKey {
+	for dt := int64(-1); dt <= 1; dt++ {
+		for dp := int64(-1); dp <= 1; dp++ {
+			for do := int64(-1); do <= 1; do++ {
+				dst = append(dst, orientKey{c[0] + dt, c[1] + dp, c[2] + do})
+			}
+		}
+	}
+	return dst
+}
+
+// scoreLatticeKeys scores every key in sc.keys not already in the
+// level cache through the batched lattice kernel, landing the
+// distances in sc.cache. Duplicate keys within the batch deduplicate
+// via the same NaN-claim the flat scan uses.
+func (r *Refiner) scoreLatticeKeys(vd *viewData, step float64, n int, st *LevelStats, sc *matchScratch) {
+	sc.pendKeys = sc.pendKeys[:0]
+	for _, k := range sc.keys {
+		if _, ok := sc.cache[k]; !ok {
+			sc.cache[k] = math.NaN() // claimed; value lands below
+			sc.pendKeys = append(sc.pendKeys, k)
+		}
+	}
+	if len(sc.pendKeys) == 0 {
+		return
+	}
+	dists := sc.growDists(len(sc.pendKeys))
+	r.m.distanceLattice(vd, sc.pendKeys, step, n, sc, dists)
+	for i, k := range sc.pendKeys {
+		sc.cache[k] = dists[i]
+	}
+	st.Matchings += len(sc.pendKeys)
 }
 
 // refineCenter performs the sliding-box centre search (step k) against

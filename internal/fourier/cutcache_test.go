@@ -1,0 +1,128 @@
+package fourier
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCutCacheGetPut(t *testing.T) {
+	c := NewCutCache(0)
+	key := CutKey{Step: 0.5, T: 10, P: -4, O: 7, N: 32}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	cut := []complex128{1, 2i, 3}
+	if got := c.Put(key, cut); &got[0] != &cut[0] {
+		t.Fatal("first Put did not return the caller's slice as canonical")
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("stored key missed")
+	}
+	if &got[0] != &cut[0] {
+		t.Fatal("Get returned a different backing array than the canonical Put")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCutCacheKeyDistinguishesFields(t *testing.T) {
+	c := NewCutCache(0)
+	base := CutKey{Step: 0.5, T: 1, P: 2, O: 3, N: 8}
+	c.Put(base, []complex128{1})
+	for _, k := range []CutKey{
+		{Step: 0.25, T: 1, P: 2, O: 3, N: 8},
+		{Step: 0.5, T: 2, P: 2, O: 3, N: 8},
+		{Step: 0.5, T: 1, P: 3, O: 3, N: 8},
+		{Step: 0.5, T: 1, P: 2, O: 4, N: 8},
+		{Step: 0.5, T: 1, P: 2, O: 3, N: 9},
+	} {
+		if _, ok := c.Get(k); ok {
+			t.Errorf("key %+v aliased %+v", k, base)
+		}
+	}
+}
+
+// TestCutCachePutFirstWriterWins: a racing second Put for the same key
+// must return the already-published slice, so every caller shares one
+// backing array.
+func TestCutCachePutFirstWriterWins(t *testing.T) {
+	c := NewCutCache(0)
+	key := CutKey{Step: 1, T: 5, P: 5, O: 5, N: 4}
+	first := []complex128{1, 2}
+	second := []complex128{1, 2}
+	c.Put(key, first)
+	if got := c.Put(key, second); &got[0] != &first[0] {
+		t.Fatal("second Put did not return the first writer's canonical slice")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate Put, want 1", c.Len())
+	}
+}
+
+// TestCutCacheEviction: exceeding a shard's coefficient budget clears
+// that shard whole, keeping the cache bounded.
+func TestCutCacheEviction(t *testing.T) {
+	// Budget of cutShardCount coeffs → one coefficient per shard.
+	c := NewCutCache(cutShardCount)
+	key := func(i int64) CutKey { return CutKey{Step: 1, T: i, P: 0, O: 0, N: 1} }
+	// Find two keys in the same shard.
+	a := key(0)
+	b := a
+	for i := int64(1); ; i++ {
+		if shardOf(key(i)) == shardOf(a) {
+			b = key(i)
+			break
+		}
+	}
+	c.Put(a, []complex128{1})
+	c.Put(b, []complex128{2})
+	if _, ok := c.Get(a); ok {
+		t.Error("first entry survived an over-budget Put to its shard")
+	}
+	if _, ok := c.Get(b); !ok {
+		t.Error("entry that triggered eviction was not cached")
+	}
+}
+
+// TestCutCacheConcurrent hammers one hot key plus a per-goroutine
+// spread from many goroutines; run under -race this checks the
+// locking, and the hot key must converge on one shared backing array.
+func TestCutCacheConcurrent(t *testing.T) {
+	c := NewCutCache(0)
+	hot := CutKey{Step: 0.1, T: 7, P: 8, O: 9, N: 16}
+	const workers = 8
+	canonical := make([][]complex128, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if cut, ok := c.Get(hot); ok {
+					canonical[w] = cut
+				} else {
+					canonical[w] = c.Put(hot, []complex128{complex(float64(w), 0)})
+				}
+				k := CutKey{Step: 0.1, T: int64(w), P: int64(i), O: 0, N: 16}
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, []complex128{1})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if &canonical[w][0] != &canonical[0][0] {
+			t.Fatal("workers ended with different backing arrays for the hot key")
+		}
+	}
+	hits, misses := c.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("stats = (%d hits, %d misses), want both nonzero", hits, misses)
+	}
+}

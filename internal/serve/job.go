@@ -74,6 +74,13 @@ type JobSpec struct {
 	InitError float64 `json:"init_error,omitempty"`
 	// InitSeed seeds the perturbation.
 	InitSeed int64 `json:"init_seed,omitempty"`
+	// Search selects the orientation-search mode of internal/core:
+	// "adaptive" (the default) or "exhaustive". Journaled with the
+	// spec, so a resumed job replays the same search path.
+	Search string `json:"search,omitempty"`
+	// SearchSeed seeds the adaptive search's deterministic probe
+	// streams (ignored under "exhaustive").
+	SearchSeed int64 `json:"search_seed,omitempty"`
 }
 
 // normalize validates the spec and fills defaults, returning the
@@ -113,6 +120,13 @@ func (s JobSpec) normalize() (JobSpec, workload.DatasetSpec, error) {
 	}
 	if s.InitError == 0 {
 		s.InitError = wspec.InitError
+	}
+	switch s.Search {
+	case "":
+		s.Search = string(core.SearchAdaptive)
+	case string(core.SearchAdaptive), string(core.SearchExhaustive):
+	default:
+		return s, wspec, fmt.Errorf("serve: unknown search mode %q", s.Search)
 	}
 	return s, wspec, nil
 }

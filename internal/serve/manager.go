@@ -374,6 +374,10 @@ func (m *Manager) runJob(worker int, jb *job) {
 	dft := fourier.NewVolumeDFTPadded(ds.Truth, jb.spec.Pad)
 	cfg := core.DefaultConfig(jb.wspec.L)
 	cfg.Schedule = core.DefaultSchedule()[:jb.spec.Levels]
+	// Search mode and seed come from the journaled spec, so a resumed
+	// job replays the identical (adaptive or exhaustive) search path.
+	cfg.Search = core.SearchMode(jb.spec.Search)
+	cfg.SearchSeed = jb.spec.SearchSeed
 	r, err := core.NewRefiner(dft, cfg)
 	if err != nil {
 		m.finish(jb, StateFailed, fmt.Sprintf("building refiner: %v", err), nil)

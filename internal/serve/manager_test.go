@@ -262,9 +262,38 @@ func TestManagerSpecValidation(t *testing.T) {
 		{Dataset: "asymmetric", Scale: -2},
 		{Dataset: "asymmetric", Views: -3},
 		{Dataset: "asymmetric", InitError: -1},
+		{Dataset: "asymmetric", Search: "monte-carlo"},
 	} {
 		if _, err := m.Submit(spec); err == nil {
 			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+}
+
+// TestJobSpecSearchNormalize: the search mode defaults to adaptive,
+// both explicit modes pass through, and the seed survives untouched —
+// the journaled spec must replay the same search path on resume.
+func TestJobSpecSearchNormalize(t *testing.T) {
+	spec := tinySpec()
+	spec.SearchSeed = 42
+	norm, _, err := spec.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Search != string(core.SearchAdaptive) {
+		t.Errorf("empty search normalized to %q, want %q", norm.Search, core.SearchAdaptive)
+	}
+	if norm.SearchSeed != 42 {
+		t.Errorf("search seed mutated to %d", norm.SearchSeed)
+	}
+	for _, mode := range []string{string(core.SearchAdaptive), string(core.SearchExhaustive)} {
+		spec.Search = mode
+		norm, _, err := spec.normalize()
+		if err != nil {
+			t.Fatalf("mode %q rejected: %v", mode, err)
+		}
+		if norm.Search != mode {
+			t.Errorf("mode %q normalized to %q", mode, norm.Search)
 		}
 	}
 }

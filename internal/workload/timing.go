@@ -100,6 +100,10 @@ func RunTiming(spec DatasetSpec, opt TimingOptions) (*TimingTable, error) {
 	for _, lv := range core.DefaultSchedule() {
 		cfg := core.DefaultConfig(spec.L)
 		cfg.Schedule = []core.Level{lv}
+		// Tables 1–2 price the paper's exhaustive window scan; the
+		// adaptive search would deflate MeanMatchings and with it every
+		// extrapolated refinement time.
+		cfg.Search = core.SearchExhaustive
 		r, err := core.NewRefiner(dft, cfg)
 		if err != nil {
 			return nil, err
