@@ -567,6 +567,40 @@ func BenchmarkReconstruction(b *testing.B) {
 	b.ReportMetric(cc, "truthCC")
 }
 
+// BenchmarkReconstructInsertView times one steady-state fused insert —
+// the per-view cost a multi-cycle refinement job pays — on the full
+// path: centre phase ramp, Wiener CTF weighting, trilinear scatter.
+func BenchmarkReconstructInsertView(b *testing.B) {
+	l := 32
+	truth := phantom.SindbisLike(l)
+	ds := micrograph.Generate(truth, micrograph.GenParams{
+		NumViews: 16, PixelA: 2.5, Seed: 3,
+		CenterJitter: 2, ApplyCTF: true, DefocusGroups: 3,
+	})
+	centers := make([][2]float64, len(ds.Views))
+	ctfs := make([]ctf.Params, len(ds.Views))
+	for i, v := range ds.Views {
+		centers[i] = [2]float64{-v.TrueCenter[0], -v.TrueCenter[1]}
+		ctfs[i] = v.CTF
+	}
+	rec := reconstruct.NewSharded(l, reconstruct.ParallelOptions{
+		Options: reconstruct.Options{WienerCTF: true}, Workers: 1,
+	})
+	for i, v := range ds.Views {
+		if err := rec.Insert(v.Image, v.TrueOrient, centers[i], ctfs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(ds.Views)
+		if err := rec.Insert(ds.Views[j].Image, ds.Views[j].TrueOrient, centers[j], ctfs[j]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAblationNormalize compares the paper's raw distance formula
 // against the least-squares gain-normalized variant on views whose
 // intensity gain varies (as real micrographs' does).

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	fscplot -data data/sindbis [-orients refined.txt]
+//	fscplot -data data/sindbis [-orients refined.txt] [-p workers]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	var (
 		data    = flag.String("data", "", "dataset directory (required)")
 		orients = flag.String("orients", "", "orientation file; empty uses ground truth")
+		p       = flag.Int("p", 0, "worker count for reconstruction and FSC; 0 = GOMAXPROCS")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -50,12 +51,12 @@ func main() {
 			ctfs = append(ctfs, v.CTF)
 		}
 	}
-	odd, even, err := reconstruct.SplitHalves(ds.Images(), orientList, centers, ctfs,
-		reconstruct.Options{WienerCTF: ds.HasCTF})
+	odd, even, err := reconstruct.SplitHalvesParallel(ds.Images(), orientList, centers, ctfs,
+		reconstruct.ParallelOptions{Options: reconstruct.Options{WienerCTF: ds.HasCTF}, Workers: *p})
 	if err != nil {
 		log.Fatal(err)
 	}
-	curve, err := fsc.Compute(odd, even, ds.PixelA)
+	curve, err := fsc.ComputeParallel(odd, even, ds.PixelA, *p)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	reconstruct -data data/sindbis -orients refined.txt -out map.vol [-sections dir]
-//	            [-metrics -] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	            [-p workers] [-metrics -] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -32,6 +32,7 @@ func main() {
 		out      = flag.String("out", "map.vol", "output map file")
 		sections = flag.String("sections", "", "directory for PGM cross-sections (optional)")
 		truthCC  = flag.Bool("truthcc", true, "report correlation against the ground-truth map")
+		p        = flag.Int("p", 0, "worker count for the insertion kernel; 0 = GOMAXPROCS")
 	)
 	var of benchutil.Flags
 	of.Register(flag.CommandLine)
@@ -67,8 +68,8 @@ func main() {
 			ctfs = append(ctfs, v.CTF)
 		}
 	}
-	m, err := reconstruct.FromViews(ds.Images(), orientList, centers, ctfs,
-		reconstruct.Options{WienerCTF: ds.HasCTF})
+	m, err := reconstruct.FromViewsParallel(ds.Images(), orientList, centers, ctfs,
+		reconstruct.ParallelOptions{Options: reconstruct.Options{WienerCTF: ds.HasCTF}, Workers: *p})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,53 @@
+// scatter.go mirrors the reconstruction insert kernel: ScatterView is
+// the compliant fused shape (preallocated accumulators, wrap lookup
+// table, unrolled 2×2 scatter over same-function scratch) and
+// ScatterViewLeaky is the same loop with the allocations the real
+// kernel must never make.
+package kernel
+
+type accum struct {
+	num  []complex128
+	den  []float64
+	wrap []int32
+}
+
+// ScatterView is the compliant kernel: every index comes out of the
+// preallocated wrap table, the weights live in stack arrays, and the
+// accumulators were sized at construction.
+//
+//repro:hotpath
+func (a *accum) ScatterView(vals []complex128, pos []float64, l int) {
+	for i := range vals {
+		px, py := pos[2*i], pos[2*i+1]
+		x0, y0 := int(px), int(py)
+		fx, fy := px-float64(x0), py-float64(y0)
+		xi := [2]int{int(a.wrap[x0+l]), int(a.wrap[x0+1+l])}
+		yi := [2]int{int(a.wrap[y0+l]), int(a.wrap[y0+1+l])}
+		wx := [2]float64{1 - fx, fx}
+		wy := [2]float64{1 - fy, fy}
+		for dx := 0; dx <= 1; dx++ {
+			row := xi[dx] * l
+			for dy := 0; dy <= 1; dy++ {
+				w := wx[dx] * wy[dy]
+				a.num[row+yi[dy]] += vals[i] * complex(w, 0)
+				a.den[row+yi[dy]] += w
+			}
+		}
+	}
+}
+
+// ScatterViewLeaky commits the allocations the fused insert exists to
+// avoid: growing a touch list per call and boxing the position slice
+// into an interface for ad-hoc tracing.
+//
+//repro:hotpath
+func (a *accum) ScatterViewLeaky(vals []complex128, pos []float64, l int) []int {
+	var touched []int
+	for i := range vals {
+		x := int(a.wrap[int(pos[2*i])+l])
+		touched = append(touched, x) // want hotpathalloc "append in hot path without a same-function make"
+		a.den[x*l] += real(vals[i])
+	}
+	sink(pos) // want hotpathalloc "numeric slice passed to interface parameter"
+	return touched
+}

@@ -1,0 +1,37 @@
+// recon.go mirrors the reconstruction split: SlowInsert is the serial
+// reference scatter kept for equivalence tests, FastInsert the
+// production kernel, and BuildMap/CleanBuildMap the wrong and right
+// ways to accumulate a map outside a test.
+package lib
+
+// SlowInsert is the reference scatter the fused kernel is
+// equivalence-tested against.
+//
+//repro:oracle
+func SlowInsert(acc, vals []float64) {
+	for i, v := range vals {
+		acc[i%len(acc)] += v
+	}
+}
+
+// FastInsert is the production equivalent.
+func FastInsert(acc, vals []float64) {
+	for i, v := range vals {
+		acc[i%len(acc)] += v
+	}
+}
+
+// BuildMap wrongly accumulates through the reference scatter in
+// production code.
+func BuildMap(vals []float64) []float64 {
+	acc := make([]float64, 8)
+	SlowInsert(acc, vals) // want oracleguard "SlowInsert is a //repro:oracle reference implementation"
+	return acc
+}
+
+// CleanBuildMap is the compliant shape, calling the production kernel.
+func CleanBuildMap(vals []float64) []float64 {
+	acc := make([]float64, 8)
+	FastInsert(acc, vals)
+	return acc
+}

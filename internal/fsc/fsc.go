@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"repro/internal/fft"
+	"repro/internal/pool"
 	"repro/internal/volume"
 )
 
@@ -33,10 +34,51 @@ type Curve struct {
 	Points []Point
 }
 
+// shellTerms is the number of running sums kept per shell: the cross
+// term and the two energies.
+const shellTerms = 3
+
+// accumulatePlane folds one x-plane of the two spectra into the
+// per-plane partial sums at dst (length shellTerms·(nShells+1), laid
+// out [shell][cross, ea, eb]). Both the serial and the parallel curve
+// computations call this and then merge planes in ascending x, so the
+// floating-point grouping — and therefore the curve, bit for bit — is
+// identical on every path and worker count.
+func accumulatePlane(dst []float64, fa, fb []complex128, x, l, nShells int) {
+	fx := float64(fft.FreqIndex(x, l))
+	for y := 0; y < l; y++ {
+		fy := float64(fft.FreqIndex(y, l))
+		row := (x*l + y) * l
+		for z := 0; z < l; z++ {
+			fz := float64(fft.FreqIndex(z, l))
+			r := math.Sqrt(fx*fx + fy*fy + fz*fz)
+			shell := int(math.Round(r))
+			if shell < 1 || shell > nShells {
+				continue
+			}
+			va := fa[row+z]
+			vb := fb[row+z]
+			t := shell * shellTerms
+			dst[t] += real(va)*real(vb) + imag(va)*imag(vb)
+			dst[t+1] += real(va)*real(va) + imag(va)*imag(va)
+			dst[t+2] += real(vb)*real(vb) + imag(vb)*imag(vb)
+		}
+	}
+}
+
 // Compute computes the Fourier shell correlation between two equally
 // sized maps. pixelA is the sampling in Å/pixel, used to label shells
 // with physical resolutions. Shell 0 (DC) is omitted.
 func Compute(a, b *volume.Grid, pixelA float64) (*Curve, error) {
+	return ComputeParallel(a, b, pixelA, 1)
+}
+
+// ComputeParallel is Compute on a bounded worker pool: the two forward
+// 3-D FFTs run concurrently and the shell accumulation fans out over
+// x-planes, each plane summed independently and the partials merged in
+// ascending x. The curve is bit-identical to Compute for every worker
+// count (workers ≤ 0 selects GOMAXPROCS).
+func ComputeParallel(a, b *volume.Grid, pixelA float64, workers int) (*Curve, error) {
 	if a.L != b.L {
 		return nil, fmt.Errorf("fsc: map sizes differ: %d vs %d", a.L, b.L)
 	}
@@ -46,31 +88,27 @@ func Compute(a, b *volume.Grid, pixelA float64) (*Curve, error) {
 	l := a.L
 	fa := a.Complex()
 	fb := b.Complex()
-	plan := fft.NewPlan3D(l, l, l)
-	plan.Forward(fa.Data)
-	plan.Forward(fb.Data)
+	spectra := [2][]complex128{fa.Data, fb.Data}
+	pool.RunIndexedLabeled("fsc.fft", len(spectra), workers, func(_, i int) {
+		fft.NewPlan3D(l, l, l).Forward(spectra[i])
+	})
 
 	nShells := l / 2
+	stride := shellTerms * (nShells + 1)
+	partial := make([]float64, l*stride)
+	pool.RunIndexedLabeled("fsc.shells", l, workers, func(_, x int) {
+		accumulatePlane(partial[x*stride:(x+1)*stride], fa.Data, fb.Data, x, l, nShells)
+	})
 	cross := make([]float64, nShells+1)
 	ea := make([]float64, nShells+1)
 	eb := make([]float64, nShells+1)
 	for x := 0; x < l; x++ {
-		fx := float64(fft.FreqIndex(x, l))
-		for y := 0; y < l; y++ {
-			fy := float64(fft.FreqIndex(y, l))
-			for z := 0; z < l; z++ {
-				fz := float64(fft.FreqIndex(z, l))
-				r := math.Sqrt(fx*fx + fy*fy + fz*fz)
-				shell := int(math.Round(r))
-				if shell < 1 || shell > nShells {
-					continue
-				}
-				va := fa.Data[(x*l+y)*l+z]
-				vb := fb.Data[(x*l+y)*l+z]
-				cross[shell] += real(va)*real(vb) + imag(va)*imag(vb)
-				ea[shell] += real(va)*real(va) + imag(va)*imag(va)
-				eb[shell] += real(vb)*real(vb) + imag(vb)*imag(vb)
-			}
+		base := x * stride
+		for s := 1; s <= nShells; s++ {
+			t := base + s*shellTerms
+			cross[s] += partial[t]
+			ea[s] += partial[t+1]
+			eb[s] += partial[t+2]
 		}
 	}
 	c := &Curve{PixelA: pixelA}

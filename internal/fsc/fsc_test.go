@@ -112,6 +112,47 @@ func TestShellResolutionLabels(t *testing.T) {
 	}
 }
 
+func TestComputeParallelBitIdentical(t *testing.T) {
+	// Per-plane partial sums merged in ascending x are the shared
+	// float grouping of both paths, so the parallel curve must match
+	// the serial one bit for bit, not merely to rounding.
+	r := rand.New(rand.NewSource(4))
+	m := phantom.SindbisLike(24)
+	noisy := m.Clone()
+	_, _, _, std := m.Stats()
+	for i := range noisy.Data {
+		noisy.Data[i] += std * r.NormFloat64()
+	}
+	serial, err := Compute(m, noisy, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 7, 8} {
+		par, err := ComputeParallel(m, noisy, 2.0, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par.Points) != len(serial.Points) {
+			t.Fatalf("workers=%d: %d shells, want %d", w, len(par.Points), len(serial.Points))
+		}
+		for i := range par.Points {
+			if par.Points[i] != serial.Points[i] {
+				t.Fatalf("workers=%d shell %d: %+v != %+v", w, par.Points[i].Shell, par.Points[i], serial.Points[i])
+			}
+		}
+	}
+}
+
+func TestComputeParallelValidation(t *testing.T) {
+	a := volume.NewGrid(8)
+	if _, err := ComputeParallel(a, volume.NewGrid(10), 2, 4); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := ComputeParallel(a, a, -1, 4); err == nil {
+		t.Fatal("negative pixel size accepted")
+	}
+}
+
 func TestComputeValidation(t *testing.T) {
 	a := volume.NewGrid(8)
 	b := volume.NewGrid(10)

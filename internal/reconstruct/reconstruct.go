@@ -10,6 +10,15 @@
 // view coefficient back onto the 3-D Fourier lattice with trilinear
 // spreading weights, normalizes by the accumulated weights, enforces
 // Hermitian symmetry, and inverse-transforms.
+//
+// Two implementations coexist. The production path is the parallel
+// sharded-accumulator kernel (parallel.go): per-shard num/den volumes
+// fed by a worker pool over views, with a fused per-view insert
+// (real-input 2-D DFT, tabulated phase ramp, memoized CTF, wrap-free
+// trilinear scatter) and a fixed-order shard merge that keeps the
+// output bit-identical across worker counts. The serial Reconstructor
+// in this file is the //repro:oracle reference the parallel kernel is
+// equivalence-tested against (≤1e-12).
 package reconstruct
 
 import (
@@ -17,7 +26,6 @@ import (
 	"math"
 
 	"repro/internal/ctf"
-	"repro/internal/fft"
 	"repro/internal/fourier"
 	"repro/internal/geom"
 	"repro/internal/volume"
@@ -37,30 +45,52 @@ type Options struct {
 	WienerEpsilon float64
 }
 
-// Reconstructor accumulates views into a 3-D Fourier volume.
-type Reconstructor struct {
-	l    int
-	opt  Options
-	num  []complex128
-	den  []float64
-	plan *fft.Plan2D
-	n    int // views inserted
+// normalized returns the options with RMax clamped to the Nyquist
+// radius and the Wiener epsilon defaulted, so the serial and sharded
+// reconstructors resolve identical effective settings.
+func (o Options) normalized(l int) Options {
+	if o.RMax <= 0 || o.RMax > float64(l)/2 {
+		o.RMax = float64(l) / 2
+	}
+	if o.WienerEpsilon <= 0 {
+		o.WienerEpsilon = 0.1
+	}
+	return o
 }
 
-// New creates a reconstructor for l×l views and an l³ output map.
+// checkCenter rejects non-finite centre corrections before they are
+// baked into a phase ramp: exp(iθ) of a NaN or Inf angle is NaN, and a
+// single NaN coefficient spread onto the lattice silently corrupts
+// every voxel it touches after normalization.
+func checkCenter(center [2]float64) error {
+	if math.IsNaN(center[0]) || math.IsInf(center[0], 0) ||
+		math.IsNaN(center[1]) || math.IsInf(center[1], 0) {
+		return fmt.Errorf("reconstruct: non-finite centre correction (%v, %v)", center[0], center[1])
+	}
+	return nil
+}
+
+// Reconstructor accumulates views into a 3-D Fourier volume, one view
+// at a time on one goroutine. It is the reference implementation; new
+// code should use the sharded parallel kernel via NewSharded or
+// FromViews.
+type Reconstructor struct {
+	l   int
+	opt Options
+	num []complex128
+	den []float64
+	n   int // views inserted
+}
+
+// New creates a serial reconstructor for l×l views and an l³ output
+// map.
 func New(l int, opt Options) *Reconstructor {
 	if l < 2 {
 		panic(fmt.Sprintf("reconstruct: invalid size %d", l))
 	}
-	if opt.RMax <= 0 || opt.RMax > float64(l)/2 {
-		opt.RMax = float64(l) / 2
-	}
-	if opt.WienerEpsilon <= 0 {
-		opt.WienerEpsilon = 0.1
-	}
 	return &Reconstructor{
 		l:   l,
-		opt: opt,
+		opt: opt.normalized(l),
 		num: make([]complex128, l*l*l),
 		den: make([]float64, l*l*l),
 	}
@@ -74,9 +104,14 @@ func (r *Reconstructor) Views() int { return r.n }
 // moves the particle origin onto the geometric image centre); it is
 // applied as a phase ramp before insertion. p supplies the view's CTF
 // parameters and is only consulted when Options.WienerCTF is set.
+//
+//repro:oracle
 func (r *Reconstructor) Insert(im *volume.Image, o geom.Euler, center [2]float64, p ctf.Params) error {
 	if im.L != r.l {
 		return fmt.Errorf("reconstruct: view size %d, want %d", im.L, r.l)
+	}
+	if err := checkCenter(center); err != nil {
+		return err
 	}
 	f := fourier.ImageDFT(im)
 	if center[0] != 0 || center[1] != 0 {
@@ -116,7 +151,11 @@ func (r *Reconstructor) Insert(im *volume.Image, o geom.Euler, center [2]float64
 }
 
 // spread distributes val with overall weight w onto the 8 lattice
-// neighbours of the continuous frequency point pt.
+// neighbours of the continuous frequency point pt. Points outside the
+// lattice (any component beyond the Nyquist radius) are dropped whole:
+// a partially spread coefficient would bias the local weight sum.
+//
+//repro:oracle
 func (r *Reconstructor) spread(pt geom.Vec3, val complex128, w float64) {
 	l := r.l
 	ny := float64(l) / 2
@@ -125,41 +164,35 @@ func (r *Reconstructor) spread(pt geom.Vec3, val complex128, w float64) {
 	}
 	x0, y0, z0 := int(math.Floor(pt.X)), int(math.Floor(pt.Y)), int(math.Floor(pt.Z))
 	fx, fy, fz := pt.X-float64(x0), pt.Y-float64(y0), pt.Z-float64(z0)
+	// Wrap indices and weight factors hoisted out of the 2×2×2 scatter:
+	// six wraps per coefficient instead of the twelve the nested loops
+	// paid, and no branch in the innermost pass.
+	var (
+		xi = [2]int{wrap(x0, l), wrap(x0+1, l)}
+		yi = [2]int{wrap(y0, l), wrap(y0+1, l)}
+		zi = [2]int{wrap(z0, l), wrap(z0+1, l)}
+		wx = [2]float64{1 - fx, fx}
+		wy = [2]float64{1 - fy, fy}
+		wz = [2]float64{1 - fz, fz}
+	)
 	for dx := 0; dx <= 1; dx++ {
-		wx := 1 - fx
-		if dx == 1 {
-			wx = fx
-		}
-		if wx == 0 {
+		if wx[dx] == 0 {
 			continue
 		}
-		xi := wrap(x0+dx, l)
 		for dy := 0; dy <= 1; dy++ {
-			wy := 1 - fy
-			if dy == 1 {
-				wy = fy
-			}
-			if wy == 0 {
+			if wy[dy] == 0 {
 				continue
 			}
-			yi := wrap(y0+dy, l)
+			rowBase := (xi[dx]*l + yi[dy]) * l
+			wxy := wx[dx] * wy[dy]
 			for dz := 0; dz <= 1; dz++ {
-				wz := 1 - fz
-				if dz == 1 {
-					wz = fz
-				}
-				if wz == 0 {
+				if wz[dz] == 0 {
 					continue
 				}
-				zi := wrap(z0+dz, l)
-				ww := wx * wy * wz * w
-				idx := (xi*l+yi)*l + zi
-				r.num[idx] += val * complex(wx*wy*wz, 0)
-				if r.opt.WienerCTF {
-					r.den[idx] += ww
-				} else {
-					r.den[idx] += wx * wy * wz
-				}
+				www := wxy * wz[dz]
+				idx := rowBase + zi[dz]
+				r.num[idx] += val * complex(www, 0)
+				r.den[idx] += www * w
 			}
 		}
 	}
@@ -178,14 +211,24 @@ func wrap(f, l int) int {
 // reconstructor may continue accumulating views afterwards (Finish
 // does not mutate the accumulation state).
 func (r *Reconstructor) Finish() *volume.Grid {
-	l := r.l
-	eps := r.opt.WienerEpsilon
+	return finishVolume(r.l, r.opt, r.num, r.den)
+}
+
+// finishVolume is the shared back half of both reconstructors:
+// normalize the accumulated num/den pair, Hermitianize, and
+// inverse-transform. The inputs are not mutated.
+func finishVolume(l int, opt Options, num []complex128, den []float64) *volume.Grid {
 	spec := volume.NewCGrid(l)
-	for i := range r.num {
-		if r.opt.WienerCTF {
-			spec.Data[i] = r.num[i] * complex(1/(r.den[i]+eps), 0)
-		} else if r.den[i] > 1e-9 {
-			spec.Data[i] = r.num[i] * complex(1/r.den[i], 0)
+	if opt.WienerCTF {
+		eps := opt.WienerEpsilon
+		for i := range num {
+			spec.Data[i] = num[i] * complex(1/(den[i]+eps), 0)
+		}
+	} else {
+		for i := range num {
+			if den[i] > 1e-9 {
+				spec.Data[i] = num[i] * complex(1/den[i], 0)
+			}
 		}
 	}
 	spec.Hermitianize()
@@ -193,37 +236,54 @@ func (r *Reconstructor) Finish() *volume.Grid {
 	return vd.Grid()
 }
 
-// FromViews reconstructs a map from views with per-view orientations
-// and centre corrections in one call. ctfs may be nil when
-// Options.WienerCTF is off.
-func FromViews(views []*volume.Image, orients []geom.Euler, centers [][2]float64, ctfs []ctf.Params, opt Options) (*volume.Grid, error) {
+// validateSet checks the per-view argument slices of the batch entry
+// points once, up front, so the parallel kernels never fail mid-insert.
+func validateSet(views []*volume.Image, orients []geom.Euler, centers [][2]float64, ctfs []ctf.Params, opt Options) error {
 	if len(views) == 0 {
-		return nil, fmt.Errorf("reconstruct: no views")
+		return fmt.Errorf("reconstruct: no views")
 	}
 	if len(orients) != len(views) {
-		return nil, fmt.Errorf("reconstruct: %d views but %d orientations", len(views), len(orients))
+		return fmt.Errorf("reconstruct: %d views but %d orientations", len(views), len(orients))
 	}
 	if centers != nil && len(centers) != len(views) {
-		return nil, fmt.Errorf("reconstruct: %d views but %d centres", len(views), len(centers))
+		return fmt.Errorf("reconstruct: %d views but %d centres", len(views), len(centers))
 	}
 	if opt.WienerCTF && len(ctfs) != len(views) {
-		return nil, fmt.Errorf("reconstruct: WienerCTF needs per-view CTF params")
+		return fmt.Errorf("reconstruct: WienerCTF needs per-view CTF params")
 	}
-	rec := New(views[0].L, opt)
+	l := views[0].L
 	for i, im := range views {
-		var c [2]float64
-		if centers != nil {
-			c = centers[i]
-		}
-		var p ctf.Params
-		if ctfs != nil {
-			p = ctfs[i]
-		}
-		if err := rec.Insert(im, orients[i], c, p); err != nil {
-			return nil, err
+		if im.L != l {
+			return fmt.Errorf("reconstruct: view %d size %d, want %d", i, im.L, l)
 		}
 	}
-	return rec.Finish(), nil
+	for _, c := range centers {
+		if err := checkCenter(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// taskAt assembles the i-th ViewTask of a batch call, tolerating nil
+// centers/ctfs slices.
+func taskAt(views []*volume.Image, orients []geom.Euler, centers [][2]float64, ctfs []ctf.Params, i int) ViewTask {
+	t := ViewTask{Image: views[i], Orient: orients[i]}
+	if centers != nil {
+		t.Center = centers[i]
+	}
+	if ctfs != nil {
+		t.CTF = ctfs[i]
+	}
+	return t
+}
+
+// FromViews reconstructs a map from views with per-view orientations
+// and centre corrections in one call, on the parallel sharded kernel
+// with default worker and shard counts. ctfs may be nil when
+// Options.WienerCTF is off.
+func FromViews(views []*volume.Image, orients []geom.Euler, centers [][2]float64, ctfs []ctf.Params, opt Options) (*volume.Grid, error) {
+	return FromViewsParallel(views, orients, centers, ctfs, ParallelOptions{Options: opt})
 }
 
 // SplitHalves reconstructs two independent maps from the odd- and
@@ -231,45 +291,5 @@ func FromViews(views []*volume.Image, orients []geom.Euler, centers [][2]float64
 // "one using only odd numbered experimental views and the other, even
 // numbered views"). The returned maps are (odd, even).
 func SplitHalves(views []*volume.Image, orients []geom.Euler, centers [][2]float64, ctfs []ctf.Params, opt Options) (*volume.Grid, *volume.Grid, error) {
-	var oddV, evenV []*volume.Image
-	var oddO, evenO []geom.Euler
-	var oddC, evenC [][2]float64
-	var oddP, evenP []ctf.Params
-	for i := range views {
-		c := [2]float64{}
-		if centers != nil {
-			c = centers[i]
-		}
-		var p ctf.Params
-		if ctfs != nil {
-			p = ctfs[i]
-		}
-		if i%2 == 0 { // view 1, 3, 5... in 1-based numbering
-			oddV = append(oddV, views[i])
-			oddO = append(oddO, orients[i])
-			oddC = append(oddC, c)
-			oddP = append(oddP, p)
-		} else {
-			evenV = append(evenV, views[i])
-			evenO = append(evenO, orients[i])
-			evenC = append(evenC, c)
-			evenP = append(evenP, p)
-		}
-	}
-	if len(oddV) == 0 || len(evenV) == 0 {
-		return nil, nil, fmt.Errorf("reconstruct: need at least 2 views to split")
-	}
-	var op, ep []ctf.Params
-	if ctfs != nil {
-		op, ep = oddP, evenP
-	}
-	odd, err := FromViews(oddV, oddO, oddC, op, opt)
-	if err != nil {
-		return nil, nil, err
-	}
-	even, err := FromViews(evenV, evenO, evenC, ep, opt)
-	if err != nil {
-		return nil, nil, err
-	}
-	return odd, even, nil
+	return SplitHalvesParallel(views, orients, centers, ctfs, ParallelOptions{Options: opt})
 }
