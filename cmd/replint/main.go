@@ -1,19 +1,32 @@
 // Command replint runs the project lint suite (internal/analysis)
-// over the module: five analyzers that mechanically enforce the
-// repository's determinism, oracle-separation and hot-path invariants.
+// over the module: seven analyzers that mechanically enforce the
+// repository's determinism, oracle-separation, hot-path and
+// concurrency invariants — interprocedurally, over a whole-module
+// static call graph.
 //
 // Usage:
 //
-//	replint [-json] [-list] [./...]
+//	replint [-json] [-sarif file] [-baseline file] [-write-baseline] [-list] [./...]
 //
 // With no arguments (or "./...") the whole module containing the
 // current directory is analyzed. Findings print as
 //
 //	file:line:col: [analyzer] message
 //
-// and the exit status is 1 when any survive suppression, so the
-// command gates CI directly. -json emits the findings as a JSON array
-// instead; -list prints the suite and exits.
+// and the exit status is 1 when any survive suppression and the
+// baseline, so the command gates CI directly. Packages the loader has
+// to skip (parse or type errors) are findings of the pseudo-analyzer
+// "load" — a partial analysis never passes silently.
+//
+//	-json            emit findings as a JSON array
+//	-sarif file      also write a SARIF 2.1.0 log ("-" for stdout)
+//	-baseline file   drop findings recorded in the baseline file
+//	                 (default replint.baseline at the module root,
+//	                 when present)
+//	-write-baseline  regenerate the baseline from current findings
+//	                 and exit 0; CI diffs the result against the
+//	                 checked-in copy
+//	-list            print the suite, sorted by analyzer name
 package main
 
 import (
@@ -29,6 +42,9 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
 	list := flag.Bool("list", false, "list the analyzers of the suite and exit")
+	sarifPath := flag.String("sarif", "", "write a SARIF 2.1.0 log to this file (\"-\" for stdout)")
+	baselinePath := flag.String("baseline", "", "baseline file of grandfathered findings (default: replint.baseline at the module root, when present)")
+	writeBaseline := flag.Bool("write-baseline", false, "regenerate the baseline file from current findings and exit")
 	flag.Parse()
 
 	if *list {
@@ -38,10 +54,56 @@ func main() {
 		return
 	}
 
-	findings, err := run()
+	findings, root, err := run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "replint:", err)
 		os.Exit(2)
+	}
+
+	bl := *baselinePath
+	if bl == "" {
+		if def := filepath.Join(root, "replint.baseline"); fileExists(def) || *writeBaseline {
+			bl = def
+		}
+	}
+
+	if *writeBaseline {
+		if bl == "" {
+			fmt.Fprintln(os.Stderr, "replint: -write-baseline needs a -baseline path")
+			os.Exit(2)
+		}
+		if err := os.WriteFile(bl, analysis.WriteBaseline(findings, root), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "replint:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("replint: wrote %d finding(s) to %s\n", len(findings), bl)
+		return
+	}
+
+	var absorbed []analysis.Finding
+	if bl != "" {
+		data, err := os.ReadFile(bl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replint:", err)
+			os.Exit(2)
+		}
+		findings, absorbed = analysis.ApplyBaseline(findings, analysis.ParseBaseline(data), root)
+	}
+
+	if *sarifPath != "" {
+		// The SARIF log carries the gating findings — what a reviewer
+		// should see inline — not the baseline-absorbed legacy ones.
+		data, err := analysis.SARIF(findings, analysis.All(), root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replint:", err)
+			os.Exit(2)
+		}
+		if *sarifPath == "-" {
+			fmt.Println(string(data))
+		} else if err := os.WriteFile(*sarifPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "replint:", err)
+			os.Exit(2)
+		}
 	}
 
 	if *jsonOut {
@@ -67,13 +129,10 @@ func main() {
 		}
 	} else {
 		for _, f := range findings {
-			rel := f.Pos.Filename
-			if wd, err := os.Getwd(); err == nil {
-				if r, err := filepath.Rel(wd, f.Pos.Filename); err == nil {
-					rel = r
-				}
-			}
-			fmt.Printf("%s:%d:%d: [%s] %s\n", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+			fmt.Println(analysis.FormatBaselineLine(f, root))
+		}
+		if n := len(absorbed); n > 0 {
+			fmt.Fprintf(os.Stderr, "replint: %d finding(s) absorbed by baseline %s\n", n, bl)
 		}
 	}
 	if len(findings) > 0 {
@@ -81,26 +140,34 @@ func main() {
 	}
 }
 
-func run() ([]analysis.Finding, error) {
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+func run() ([]analysis.Finding, string, error) {
 	wd, err := os.Getwd()
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	root, err := analysis.FindModuleRoot(wd)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	modPath, err := analysis.ModulePath(root)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	loader, err := analysis.NewLoader(root, modPath)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	pkgs, err := loader.LoadAll()
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return analysis.Run(loader.Fset, pkgs, analysis.All(), analysis.DefaultConfig()), nil
+	findings := analysis.Run(loader.Fset, pkgs, analysis.All(), analysis.DefaultConfig())
+	findings = append(findings, analysis.DiagnosticFindings(loader.Diagnostics())...)
+	analysis.SortFindings(findings)
+	return findings, root, nil
 }

@@ -2,16 +2,25 @@
 // stdlib-only static-analysis driver (go/parser + go/types) that
 // mechanically enforces the invariants the reproduction's correctness
 // rests on but no compiler checks — simulated-clock determinism,
-// oracle/production separation, reproducible accumulation order, and
-// allocation-free hot kernels.
+// oracle/production separation, reproducible accumulation order,
+// allocation-free hot kernels, and goroutine/lock hygiene.
+//
+// Since PR 8 the suite is interprocedural: a whole-module call graph
+// (see callgraph.go) resolves static call edges, and the contract
+// analyzers propagate their properties along it — a hot path that
+// calls an allocating helper, or a production path that reaches an
+// oracle through one level of indirection, is a finding with the call
+// chain printed.
 //
 // Registration tags (written as directive comments on declarations):
 //
 //	//repro:oracle   — reference implementation kept only for
 //	                   equivalence tests; production code must not
-//	                   call it (analyzer: oracleguard).
+//	                   call it, directly or transitively
+//	                   (analyzer: oracleguard).
 //	//repro:hotpath  — allocation-free kernel; hotpathalloc rejects
-//	                   constructs that allocate per call.
+//	                   constructs that allocate per call, in the
+//	                   tagged function and in everything it reaches.
 //
 // Suppressions: any finding can be waived with a comment on the same
 // line or the line above, carrying a written reason:
@@ -30,7 +39,10 @@ import (
 	"strings"
 )
 
-// Analyzer is one named invariant check.
+// Analyzer is one named invariant check. Run is invoked once per
+// module with a Pass holding every loaded package, so analyzers are
+// free to combine per-file syntax checks with whole-module call-graph
+// queries.
 type Analyzer struct {
 	Name string
 	Doc  string
@@ -60,6 +72,11 @@ type Config struct {
 	// order must be reproducible, where map iteration may not feed
 	// sums, appends or channel sends.
 	NumericPaths []string
+	// ConcurrencyPaths are the packages whose goroutines must be
+	// cancellable or joined (analyzer: ctxleak) — the long-lived
+	// worker fan-outs of the job service and the cluster/pool/parfft
+	// execution layers.
+	ConcurrencyPaths []string
 }
 
 // DefaultConfig returns the production scoping of the suite.
@@ -72,6 +89,7 @@ func DefaultConfig() *Config {
 			"internal/brick", "internal/volume", "internal/geom", "internal/baseline",
 			"internal/symmetry", "internal/workload",
 		},
+		ConcurrencyPaths: []string{"internal/serve", "internal/pool", "internal/cluster", "internal/parfft"},
 	}
 }
 
@@ -85,8 +103,9 @@ func (c *Config) matches(paths []string, pkgPath string) bool {
 }
 
 // Facts is the whole-program state shared by all analyzers: which
-// objects are registered oracles and which functions are declared
-// hot paths.
+// objects are registered oracles, which functions are declared hot
+// paths, and the module call graph the interprocedural analyzers
+// propagate those properties along.
 type Facts struct {
 	// Oracle maps a declared object to true when its declaration
 	// carries //repro:oracle.
@@ -97,9 +116,12 @@ type Facts struct {
 	// OracleDecls maps each oracle-tagged FuncDecl back to its object,
 	// so oracleguard can permit oracle→oracle references.
 	OracleDecls map[*ast.FuncDecl]types.Object
+	// Graph is the whole-module static call graph.
+	Graph *CallGraph
 }
 
-// CollectFacts scans every package for registration tags.
+// CollectFacts scans every package for registration tags and builds
+// the call graph.
 func CollectFacts(pkgs []*Package) *Facts {
 	f := &Facts{
 		Oracle:      map[types.Object]bool{},
@@ -129,14 +151,16 @@ func CollectFacts(pkgs []*Package) *Facts {
 			}
 		}
 	}
+	f.Graph = BuildCallGraph(pkgs)
 	return f
 }
 
-// Pass is the per-package, per-analyzer invocation context.
+// Pass is the per-analyzer invocation context: one call per module,
+// with every loaded package visible.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
-	Pkg      *Package
+	Pkgs     []*Package
 	Facts    *Facts
 	Config   *Config
 	findings *[]Finding
@@ -151,9 +175,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
-// All returns the full suite in reporting order.
+// registry is the full suite; All sorts it by name so registration
+// order (spread over several files) never leaks into -list output or
+// run order.
+var registry = []*Analyzer{
+	Simclock, OracleGuard, MapOrder, HotpathAlloc, ErrSink, CtxLeak, LockOrder,
+}
+
+// All returns the suite sorted by analyzer name — deterministic
+// regardless of which file registered what.
 func All() []*Analyzer {
-	return []*Analyzer{Simclock, OracleGuard, MapOrder, HotpathAlloc, ErrSink}
+	out := make([]*Analyzer, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
 }
 
 // suppression is one parsed //replint:allow comment.
@@ -188,7 +223,7 @@ func collectSuppressions(fset *token.FileSet, file *ast.File) []*suppression {
 	return out
 }
 
-// Run executes every analyzer over every package and returns the
+// Run executes every analyzer over the module and returns the
 // surviving findings sorted by position. Suppressed findings are
 // dropped; malformed suppressions (no analyzer name or no reason) are
 // reported as findings of the pseudo-analyzer "suppression".
@@ -199,11 +234,9 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, cfg *Confi
 	facts := CollectFacts(pkgs)
 
 	var raw []Finding
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, Facts: facts, Config: cfg, findings: &raw}
-			a.Run(pass)
-		}
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Pkgs: pkgs, Facts: facts, Config: cfg, findings: &raw}
+		a.Run(pass)
 	}
 
 	// Index suppressions by file and line.
@@ -249,6 +282,13 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, cfg *Confi
 		}
 	}
 	out = append(out, malformed...)
+	SortFindings(out)
+	return out
+}
+
+// SortFindings orders findings by file, line, column, analyzer, then
+// message — the canonical order every replint output mode uses.
+func SortFindings(out []Finding) {
 	sort.Slice(out, func(a, b int) bool {
 		fa, fb := out[a], out[b]
 		if fa.Pos.Filename != fb.Pos.Filename {
@@ -260,9 +300,11 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, cfg *Confi
 		if fa.Pos.Column != fb.Pos.Column {
 			return fa.Pos.Column < fb.Pos.Column
 		}
-		return fa.Analyzer < fb.Analyzer
+		if fa.Analyzer != fb.Analyzer {
+			return fa.Analyzer < fb.Analyzer
+		}
+		return fa.Message < fb.Message
 	})
-	return out
 }
 
 // isTestFile reports whether the file's name ends in _test.go. The

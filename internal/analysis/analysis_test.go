@@ -124,6 +124,8 @@ func TestHotpathAllocFixture(t *testing.T) { checkFixture(t, "hotpathalloc") }
 func TestErrSinkFixture(t *testing.T)      { checkFixture(t, "errsink") }
 func TestServeFixture(t *testing.T)        { checkFixture(t, "serve") }
 func TestObsSpanFixture(t *testing.T)      { checkFixture(t, "obsspan") }
+func TestCtxLeakFixture(t *testing.T)      { checkFixture(t, "ctxleak") }
+func TestLockOrderFixture(t *testing.T)    { checkFixture(t, "lockorder") }
 
 // TestSuppressionFixture asserts the waiver machinery directly: the
 // reasoned //replint:allow swallows its finding, the reason-less one is
@@ -149,14 +151,14 @@ func TestSuppressionFixture(t *testing.T) {
 	}
 }
 
-// TestListOrder pins the suite's reporting order so cmd/replint -list
-// output stays stable.
+// TestListOrder pins the suite's reporting order — sorted by analyzer
+// name — so cmd/replint -list output stays stable and deterministic.
 func TestListOrder(t *testing.T) {
 	got := make([]string, 0, len(All()))
 	for _, a := range All() {
 		got = append(got, a.Name)
 	}
-	want := []string{"simclock", "oracleguard", "maporder", "hotpathalloc", "errsink"}
+	want := []string{"ctxleak", "errsink", "hotpathalloc", "lockorder", "maporder", "oracleguard", "simclock"}
 	if len(got) != len(want) {
 		t.Fatalf("suite = %v, want %v", got, want)
 	}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Baseline support: a checked-in replint.baseline file lets a new
+// (or newly strict) analyzer land immediately — legacy findings are
+// recorded once and stop failing the build, while anything not in the
+// file still gates. CI regenerates the file with -write-baseline and
+// fails when it differs from the checked-in copy, so the baseline can
+// only shrink deliberately and can never drift stale.
+//
+// Format: one finding per line in the canonical text form
+//
+//	relative/path.go:line:col: [analyzer] message
+//
+// with '#' comments and blank lines ignored. Entries are written
+// sorted, so regeneration is diff-stable.
+
+// baselineHeader documents the file for people who open it.
+const baselineHeader = `# replint baseline — findings grandfathered in when an analyzer landed.
+# Regenerate with: go run ./cmd/replint -write-baseline
+# CI fails when this file does not match a fresh regeneration, so it
+# can never go stale; shrink it by fixing findings, never grow it by hand.
+`
+
+// FormatBaselineLine renders one finding in the baseline's (and the
+// text reporter's) canonical relative form.
+func FormatBaselineLine(f Finding, root string) string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", relPath(root, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// WriteBaseline renders findings as a baseline file body.
+func WriteBaseline(findings []Finding, root string) []byte {
+	lines := make([]string, 0, len(findings))
+	for _, f := range findings {
+		lines = append(lines, FormatBaselineLine(f, root))
+	}
+	sort.Strings(lines)
+	var b bytes.Buffer
+	b.WriteString(baselineHeader)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// ParseBaseline reads a baseline file body into the set of recorded
+// finding lines.
+func ParseBaseline(data []byte) map[string]bool {
+	out := map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out[line] = true
+	}
+	return out
+}
+
+// ApplyBaseline splits findings into the ones still gating (not in
+// the baseline) and the ones the baseline absorbs.
+func ApplyBaseline(findings []Finding, baseline map[string]bool, root string) (fresh, absorbed []Finding) {
+	for _, f := range findings {
+		if baseline[FormatBaselineLine(f, root)] {
+			absorbed = append(absorbed, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	return fresh, absorbed
+}

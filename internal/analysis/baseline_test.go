@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"testing"
+)
+
+// TestBaselineRoundTrip pins the write→parse→apply cycle: recorded
+// findings are absorbed, anything new keeps gating, and regeneration
+// is byte-stable.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := "/repo"
+	old := []Finding{
+		{Pos: token.Position{Filename: "/repo/a/a.go", Line: 3, Column: 2}, Analyzer: "simclock", Message: "time.Now reads the wall clock"},
+		{Pos: token.Position{Filename: "/repo/b/b.go", Line: 8, Column: 1}, Analyzer: "errsink", Message: "error discarded"},
+	}
+	data := WriteBaseline(old, root)
+	if again := WriteBaseline(old, root); !bytes.Equal(data, again) {
+		t.Fatal("baseline regeneration is not byte-stable")
+	}
+	bl := ParseBaseline(data)
+	if len(bl) != 2 {
+		t.Fatalf("parsed %d baseline lines, want 2 (header must be ignored)", len(bl))
+	}
+
+	fresh := Finding{Pos: token.Position{Filename: "/repo/c/c.go", Line: 1, Column: 1}, Analyzer: "ctxleak", Message: "goroutine has no cancellation path"}
+	gating, absorbed := ApplyBaseline(append(old[:2:2], fresh), bl, root)
+	if len(absorbed) != 2 {
+		t.Errorf("absorbed %d findings, want 2", len(absorbed))
+	}
+	if len(gating) != 1 || gating[0].Analyzer != "ctxleak" {
+		t.Errorf("gating = %v, want just the fresh ctxleak finding", gating)
+	}
+}
+
+// TestBaselineEmpty pins the shape of the checked-in file: an empty
+// tree writes a header-only baseline that absorbs nothing.
+func TestBaselineEmpty(t *testing.T) {
+	data := WriteBaseline(nil, "/repo")
+	if bl := ParseBaseline(data); len(bl) != 0 {
+		t.Fatalf("empty baseline parsed to %d entries", len(bl))
+	}
+	f := Finding{Pos: token.Position{Filename: "/repo/a.go", Line: 1, Column: 1}, Analyzer: "simclock", Message: "m"}
+	gating, absorbed := ApplyBaseline([]Finding{f}, ParseBaseline(data), "/repo")
+	if len(gating) != 1 || len(absorbed) != 0 {
+		t.Fatalf("empty baseline absorbed a finding: gating=%d absorbed=%d", len(gating), len(absorbed))
+	}
+}

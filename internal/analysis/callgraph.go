@@ -1,0 +1,361 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CallGraph is the whole-module static call graph the interprocedural
+// analyzers propagate contracts along. Nodes are the declared
+// functions and methods of the loaded packages; edges are resolved
+// from three statically unambiguous call forms:
+//
+//   - direct calls of a declared function (f(...), pkg.F(...)),
+//   - method calls through a concrete (non-interface) receiver type
+//     (x.M(...), including promoted methods),
+//   - calls through a function-valued local with exactly one
+//     assignment, where that assignment's right-hand side is itself a
+//     declared function, a method value, or a method expression
+//     (h := helper; ...; h(...)).
+//
+// Known unsoundness (documented, deliberate): calls through interface
+// methods, through function-typed parameters or struct fields, and
+// through locals assigned more than once produce no edge — replint
+// favours precise, explainable chains over a sound-but-noisy
+// over-approximation. Function literals get no node of their own:
+// their bodies lie inside a declared function, so their calls are
+// attributed to that enclosing declaration, which is exactly the
+// attribution a call-chain report wants.
+type CallGraph struct {
+	// Nodes maps the *types.Func object of every declared function or
+	// method in the module to its node.
+	Nodes map[types.Object]*CallNode
+}
+
+// CallNode is one declared function or method.
+type CallNode struct {
+	Obj  types.Object
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Out holds the outgoing edges in source order.
+	Out []CallEdge
+}
+
+// CallEdge is one resolved static call.
+type CallEdge struct {
+	Caller types.Object
+	Callee types.Object
+	// Site is the position of the call expression.
+	Site token.Pos
+}
+
+// BuildCallGraph resolves the static call edges of every loaded
+// package.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: map[types.Object]*CallNode{}}
+	// First pass: one node per declared function, so edge resolution
+	// can distinguish module targets from external ones.
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					g.Nodes[obj] = &CallNode{Obj: obj, Decl: fd, Pkg: p}
+				}
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		g.resolveEdges(n)
+	}
+	return g
+}
+
+// Callees returns the outgoing edges of fn (nil when fn has no node).
+func (g *CallGraph) Callees(fn types.Object) []CallEdge {
+	if n := g.Nodes[fn]; n != nil {
+		return n.Out
+	}
+	return nil
+}
+
+// resolveEdges fills n.Out from the calls in n's body.
+func (g *CallGraph) resolveEdges(n *CallNode) {
+	info := n.Pkg.Info
+	single := singleAssignFuncLocals(info, n.Decl)
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		target := resolveCallee(info, call.Fun, single)
+		if target == nil {
+			return true
+		}
+		if _, inModule := g.Nodes[target]; !inModule {
+			return true
+		}
+		n.Out = append(n.Out, CallEdge{Caller: n.Obj, Callee: target, Site: call.Pos()})
+		return true
+	})
+	// Source order is already how Inspect visits, but make it explicit:
+	// deterministic edge order is what keeps chain output stable.
+	sort.SliceStable(n.Out, func(a, b int) bool { return n.Out[a].Site < n.Out[b].Site })
+}
+
+// resolveCallee maps a call's Fun expression to the types.Object of a
+// declared function, or nil when the target is not statically
+// unambiguous.
+func resolveCallee(info *types.Info, fun ast.Expr, single map[types.Object]types.Object) types.Object {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[f].(type) {
+		case *types.Func:
+			return obj
+		case *types.Var:
+			// A function-valued local: only single-assignment locals
+			// resolve, and only to a declared target.
+			return single[obj]
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			// Method call or method value through a selection: concrete
+			// receivers resolve to the declared method, interface
+			// receivers resolve to nothing (no static callee).
+			if isInterfaceRecv(sel) {
+				return nil
+			}
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier (pkg.F) or method expression (T.M):
+		// both resolve through Uses.
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.ParenExpr:
+		return resolveCallee(info, f.X, single)
+	}
+	return nil
+}
+
+// isInterfaceRecv reports whether a selection dispatches dynamically
+// through an interface.
+func isInterfaceRecv(sel *types.Selection) bool {
+	t := sel.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	_, iface := t.Underlying().(*types.Interface)
+	return iface
+}
+
+// singleAssignFuncLocals finds the function-typed locals of fd that
+// are assigned exactly once, mapping each local's object to the
+// declared function it holds. Locals assigned twice — or whose single
+// right-hand side is not a declared function, method value, or method
+// expression — resolve to nothing.
+func singleAssignFuncLocals(info *types.Info, fd *ast.FuncDecl) map[types.Object]types.Object {
+	assigns := map[types.Object]int{}
+	target := map[types.Object]types.Object{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return
+		}
+		if _, isFunc := v.Type().Underlying().(*types.Signature); !isFunc {
+			return
+		}
+		assigns[v]++
+		if rhs != nil {
+			if t := resolveFuncValue(info, rhs); t != nil {
+				target[v] = t
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				var rhs ast.Expr
+				if i < len(s.Rhs) && len(s.Lhs) == len(s.Rhs) {
+					rhs = s.Rhs[i]
+				}
+				record(lhs, rhs)
+			}
+		case *ast.GenDecl:
+			for _, spec := range s.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					record(name, rhs)
+				}
+			}
+		}
+		return true
+	})
+	out := map[types.Object]types.Object{}
+	for v, t := range target {
+		if assigns[v] == 1 {
+			out[v] = t
+		}
+	}
+	return out
+}
+
+// resolveFuncValue maps an expression used as a function value to the
+// declared function it denotes: a function identifier, a method value
+// (x.M with concrete x), or a method expression (T.M).
+func resolveFuncValue(info *types.Info, e ast.Expr) types.Object {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[v].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[v]; ok {
+			if isInterfaceRecv(sel) {
+				return nil
+			}
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[v.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.ParenExpr:
+		return resolveFuncValue(info, v.X)
+	}
+	return nil
+}
+
+// ReachableFrom runs a breadth-first search from root and returns the
+// predecessor edge of every function reachable through at least one
+// call, keyed by callee object. Root itself is present only if it is
+// reachable through a cycle. Edge order within each function is source
+// order, so the traversal — and therefore every reported chain — is
+// deterministic.
+func (g *CallGraph) ReachableFrom(root types.Object) map[types.Object]CallEdge {
+	return g.reachableStopping(root, nil)
+}
+
+// reachableStopping is ReachableFrom with a barrier: functions for
+// which stop returns true are recorded when reached but their own
+// callees are not explored. Analyzers use it to keep chains from
+// tunnelling through nodes that are already roots (or findings) in
+// their own right.
+func (g *CallGraph) reachableStopping(root types.Object, stop func(types.Object) bool) map[types.Object]CallEdge {
+	pred := map[types.Object]CallEdge{}
+	queue := []types.Object{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Callees(cur) {
+			if _, seen := pred[e.Callee]; seen {
+				continue
+			}
+			pred[e.Callee] = e
+			if stop == nil || !stop(e.Callee) {
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return pred
+}
+
+// Chain reconstructs the call path root → ... → target from a
+// predecessor map produced by ReachableFrom(root). It returns nil when
+// target was not reached.
+func Chain(pred map[types.Object]CallEdge, root, target types.Object) []CallEdge {
+	if _, ok := pred[target]; !ok {
+		return nil
+	}
+	var rev []CallEdge
+	for cur := target; cur != root; {
+		e, ok := pred[cur]
+		if !ok {
+			return nil
+		}
+		rev = append(rev, e)
+		cur = e.Caller
+		if len(rev) > len(pred)+1 {
+			return nil // defensive: corrupt predecessor map
+		}
+	}
+	out := make([]CallEdge, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// FormatChain renders "Root → A → B" for a chain returned by Chain.
+func FormatChain(root types.Object, chain []CallEdge) string {
+	var b strings.Builder
+	b.WriteString(FuncName(root))
+	for _, e := range chain {
+		b.WriteString(" → ")
+		b.WriteString(FuncName(e.Callee))
+	}
+	return b.String()
+}
+
+// FuncName renders a compact, receiver-qualified function name:
+// "pkg.Func" or "pkg.Type.Method".
+func FuncName(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return obj.Name()
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			return fmt.Sprintf("%s%s.%s", pkg, named.Obj().Name(), fn.Name())
+		}
+	}
+	return pkg + fn.Name()
+}
+
+// sortedNodes returns the graph's nodes ordered by declaration
+// position — the iteration order every interprocedural analyzer uses
+// so findings come out deterministically.
+func (g *CallGraph) sortedNodes() []*CallNode {
+	out := make([]*CallNode, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Decl.Pos() < out[b].Decl.Pos() })
+	return out
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadGraphFixture builds the call graph of the callgraph fixture
+// tree.
+func loadGraphFixture(t *testing.T) *CallGraph {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "callgraph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := loader.Diagnostics(); len(diags) > 0 {
+		t.Fatalf("fixture did not load cleanly: %v", diags)
+	}
+	return BuildCallGraph(pkgs)
+}
+
+// TestCallGraphResolution pins the edge-resolution rules: which call
+// forms produce a static edge and which are deliberately left
+// unresolved.
+func TestCallGraphResolution(t *testing.T) {
+	g := loadGraphFixture(t)
+	edges := map[string]bool{}
+	for _, n := range g.sortedNodes() {
+		for _, e := range n.Out {
+			edges[FuncName(e.Caller)+" -> "+FuncName(e.Callee)] = true
+		}
+	}
+	cases := []struct {
+		name string
+		edge string
+		want bool
+	}{
+		{"direct call", "graphfix.Direct -> graphfix.helper", true},
+		{"method call, concrete receiver", "graphfix.MethodCall -> graphfix.Counter.Inc", true},
+		{"method value via single-assign local", "graphfix.MethodValue -> graphfix.Counter.Inc", true},
+		{"method expression via single-assign local", "graphfix.MethodExpr -> graphfix.Counter.Get", true},
+		{"function stored once then called", "graphfix.StoredFunc -> graphfix.helper", true},
+		{"self-recursion", "graphfix.Loop -> graphfix.Loop", true},
+		{"reassigned local resolves to nothing (first target)", "graphfix.Reassigned -> graphfix.helper", false},
+		{"reassigned local resolves to nothing (second target)", "graphfix.Reassigned -> graphfix.other", false},
+		{"interface dispatch has no edge", "graphfix.Iface -> graphfix.Counter.Inc", false},
+	}
+	for _, c := range cases {
+		if edges[c.edge] != c.want {
+			t.Errorf("%s: edge %q present=%v, want %v\nall edges: %v", c.name, c.edge, edges[c.edge], c.want, keys(edges))
+		}
+	}
+}
+
+// TestCallGraphReachabilityAndChain asserts BFS reachability and the
+// chain reconstruction the analyzers print.
+func TestCallGraphReachabilityAndChain(t *testing.T) {
+	g := loadGraphFixture(t)
+	byName := map[string]*CallNode{}
+	for _, n := range g.sortedNodes() {
+		byName[FuncName(n.Obj)] = n
+	}
+	direct, helper := byName["graphfix.Direct"], byName["graphfix.helper"]
+	if direct == nil || helper == nil {
+		t.Fatal("fixture nodes missing")
+	}
+	pred := g.ReachableFrom(direct.Obj)
+	if _, ok := pred[helper.Obj]; !ok {
+		t.Fatal("helper not reachable from Direct")
+	}
+	chain := Chain(pred, direct.Obj, helper.Obj)
+	if len(chain) != 1 {
+		t.Fatalf("chain length = %d, want 1", len(chain))
+	}
+	if got := FormatChain(direct.Obj, chain); got != "graphfix.Direct → graphfix.helper" {
+		t.Fatalf("FormatChain = %q", got)
+	}
+	// Iface must reach nothing: interface dispatch is not an edge.
+	if pred := g.ReachableFrom(byName["graphfix.Iface"].Obj); len(pred) != 0 {
+		t.Fatalf("Iface reaches %d nodes, want 0", len(pred))
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -28,38 +28,39 @@ var ErrSink = &Analyzer{
 }
 
 func runErrSink(pass *Pass) {
-	info := pass.Pkg.Info
-	for _, file := range pass.Pkg.Files {
-		if isTestFile(pass.Fset, file) {
-			continue
-		}
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch s := n.(type) {
-			case *ast.DeferStmt, *ast.GoStmt:
-				return false
-			case *ast.ExprStmt:
-				call, ok := s.X.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if errsinkExcluded(info, call) {
-					return true
-				}
-				if errorResultCount(info, call) > 0 {
-					pass.Reportf(call.Pos(), "%s returns an error that is discarded", callName(call))
-				}
-			case *ast.AssignStmt:
-				checkBlankErrAssign(pass, s)
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			if isTestFile(pass.Fset, file) {
+				continue
 			}
-			return true
-		})
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.DeferStmt, *ast.GoStmt:
+					return false
+				case *ast.ExprStmt:
+					call, ok := s.X.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if errsinkExcluded(info, call) {
+						return true
+					}
+					if errorResultCount(info, call) > 0 {
+						pass.Reportf(call.Pos(), "%s returns an error that is discarded", callName(call))
+					}
+				case *ast.AssignStmt:
+					checkBlankErrAssign(pass, info, s)
+				}
+				return true
+			})
+		}
 	}
 }
 
 // checkBlankErrAssign flags `_`-assignments of error results, for both
 // `_ = f()` and `n, _ := f()` shapes.
-func checkBlankErrAssign(pass *Pass, as *ast.AssignStmt) {
-	info := pass.Pkg.Info
+func checkBlankErrAssign(pass *Pass, info *types.Info, as *ast.AssignStmt) {
 	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
 		// Multi-value call: align blanks with tuple positions.
 		call, ok := as.Rhs[0].(*ast.CallExpr)

@@ -2,7 +2,9 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"path/filepath"
 )
 
 // HotpathAlloc enforces the 0-alloc contract of the matching kernels:
@@ -20,37 +22,120 @@ import (
 //   - function literals capturing loop variables (each iteration
 //     allocates a closure).
 //
-// Amortized-growth scratch that a human has verified reaches a steady
-// state is waived with //replint:allow hotpathalloc <reason>.
+// The contract is transitive: the same checks run over every function
+// statically reachable from a tagged root through the module call
+// graph, and an allocating callee is reported at the call site that
+// pulls it into the hot path, with the full chain from the root
+// printed. Amortized-growth scratch that a human has verified reaches
+// a steady state is waived with //replint:allow hotpathalloc <reason>
+// — at the construct inside a tagged function, or at the reported
+// call site for a callee.
 var HotpathAlloc = &Analyzer{
 	Name: "hotpathalloc",
-	Doc: "//repro:hotpath functions may not allocate per call: no growing append, " +
-		"no escaping composite literals, no numeric-slice→interface conversions, " +
-		"no closures over loop variables",
+	Doc: "//repro:hotpath functions — and every function they transitively call — " +
+		"may not allocate per call: no growing append, no escaping composite literals, " +
+		"no numeric-slice→interface conversions, no closures over loop variables",
 	Run: runHotpathAlloc,
 }
 
+// allocSite is one allocating construct found inside a function body.
+type allocSite struct {
+	pos token.Pos
+	msg string
+}
+
 func runHotpathAlloc(pass *Pass) {
-	info := pass.Pkg.Info
-	for _, file := range pass.Pkg.Files {
-		if isTestFile(pass.Fset, file) {
+	// Tagged functions: report each construct in place, exactly as the
+	// intraprocedural suite always has.
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			if isTestFile(pass.Fset, file) {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if _, hot := pass.Facts.Hotpath[pkg.Info.Defs[fd.Name]]; !hot {
+					continue
+				}
+				for _, s := range allocSites(pkg.Info, fd) {
+					pass.Reportf(s.pos, "%s", s.msg)
+				}
+			}
+		}
+	}
+
+	// Transitive closure: walk the call graph from every tagged root
+	// and report allocating callees at the call site that reaches
+	// them. allocs caches per-function construct scans; reported
+	// dedupes call sites shared by several roots.
+	g := pass.Facts.Graph
+	allocs := map[types.Object][]allocSite{}
+	allocsOf := func(n *CallNode) []allocSite {
+		if s, ok := allocs[n.Obj]; ok {
+			return s
+		}
+		var s []allocSite
+		if !isTestFile(pass.Fset, fileOf(n.Pkg, n.Decl.Pos())) {
+			s = allocSites(n.Pkg.Info, n.Decl)
+		}
+		allocs[n.Obj] = s
+		return s
+	}
+	reported := map[token.Pos]bool{}
+	for _, root := range g.sortedNodes() {
+		if _, hot := pass.Facts.Hotpath[root.Obj]; !hot {
 			continue
 		}
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
+		// Nested tagged kernels are barriers: their own closure is
+		// covered when they are the root, so chains stay attributed to
+		// the nearest tagged ancestor.
+		pred := g.reachableStopping(root.Obj, func(o types.Object) bool {
+			_, tagged := pass.Facts.Hotpath[o]
+			return tagged
+		})
+		// Visit reached functions in deterministic (position) order.
+		for _, n := range g.sortedNodes() {
+			edge, reached := pred[n.Obj]
+			if !reached || n.Obj == root.Obj {
 				continue
 			}
-			if _, hot := pass.Facts.Hotpath[info.Defs[fd.Name]]; !hot {
+			if _, tagged := pass.Facts.Hotpath[n.Obj]; tagged {
+				continue // checked in place as its own root
+			}
+			sites := allocsOf(n)
+			if len(sites) == 0 || reported[edge.Site] {
 				continue
 			}
-			checkHotpathFunc(pass, fd)
+			reported[edge.Site] = true
+			chain := Chain(pred, root.Obj, n.Obj)
+			first := pass.Fset.Position(sites[0].pos)
+			pass.Reportf(edge.Site,
+				"%s allocates per call inside a //repro:hotpath path (call chain %s): %s at %s:%d",
+				FuncName(n.Obj), FormatChain(root.Obj, chain), sites[0].msg, filepath.Base(first.Filename), first.Line)
 		}
 	}
 }
 
-func checkHotpathFunc(pass *Pass, fd *ast.FuncDecl) {
-	info := pass.Pkg.Info
+// fileOf returns the *ast.File of pkg containing pos.
+func fileOf(pkg *Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.Pos() <= pos && pos <= f.End() {
+			return f
+		}
+	}
+	return nil
+}
+
+// allocSites scans one function body for the per-call-allocation
+// constructs the hot-path contract bans.
+func allocSites(info *types.Info, fd *ast.FuncDecl) []allocSite {
+	var out []allocSite
+	report := func(pos token.Pos, msg string) {
+		out = append(out, allocSite{pos: pos, msg: msg})
+	}
 	capped := cappedLocals(info, fd)
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -58,30 +143,31 @@ func checkHotpathFunc(pass *Pass, fd *ast.FuncDecl) {
 		case *ast.CallExpr:
 			if isBuiltinAppend(info, e) && len(e.Args) > 0 {
 				if obj := sliceRootObject(info, e.Args[0]); obj == nil || !capped[obj] {
-					pass.Reportf(e.Pos(), "append in hot path without a same-function make(..., cap): growth reallocates inside the kernel loop")
+					report(e.Pos(), "append in hot path without a same-function make(..., cap): growth reallocates inside the kernel loop")
 				}
 			}
-			checkInterfaceArgs(pass, e)
+			checkInterfaceArgs(info, e, report)
 		case *ast.UnaryExpr:
 			if e.Op.String() == "&" {
 				if _, ok := e.X.(*ast.CompositeLit); ok {
-					pass.Reportf(e.Pos(), "&composite literal escapes to the heap in a hot path")
+					report(e.Pos(), "&composite literal escapes to the heap in a hot path")
 				}
 			}
 		case *ast.CompositeLit:
 			if tv, ok := info.Types[e]; ok {
 				switch tv.Type.Underlying().(type) {
 				case *types.Slice, *types.Map:
-					pass.Reportf(e.Pos(), "slice/map literal allocates in a hot path; hoist it to setup or scratch state")
+					report(e.Pos(), "slice/map literal allocates in a hot path; hoist it to setup or scratch state")
 				}
 			}
 		case *ast.ForStmt:
-			checkLoopClosures(pass, loopVarObjects(info, e.Init), e.Body)
+			checkLoopClosures(info, loopVarObjects(info, e.Init), e.Body, report)
 		case *ast.RangeStmt:
-			checkLoopClosures(pass, rangeVarObjects(info, e), e.Body)
+			checkLoopClosures(info, rangeVarObjects(info, e), e.Body, report)
 		}
 		return true
 	})
+	return out
 }
 
 // cappedLocals collects the objects of local slices created by a
@@ -133,8 +219,7 @@ func sliceRootObject(info *types.Info, e ast.Expr) types.Object {
 
 // checkInterfaceArgs flags numeric slices converted to interface
 // parameters (incl. variadic ...interface{}).
-func checkInterfaceArgs(pass *Pass, call *ast.CallExpr) {
-	info := pass.Pkg.Info
+func checkInterfaceArgs(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
 	ftv, ok := info.Types[call.Fun]
 	if !ok {
 		return
@@ -165,7 +250,7 @@ func checkInterfaceArgs(pass *Pass, call *ast.CallExpr) {
 			continue
 		}
 		if sl, ok := atv.Type.Underlying().(*types.Slice); ok && isFloatOrComplex(sl.Elem()) {
-			pass.Reportf(arg.Pos(), "numeric slice passed to interface parameter boxes the slice header on the heap in a hot path")
+			report(arg.Pos(), "numeric slice passed to interface parameter boxes the slice header on the heap in a hot path")
 		}
 	}
 }
@@ -198,11 +283,10 @@ func rangeVarObjects(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool 
 
 // checkLoopClosures reports function literals inside a loop body that
 // capture that loop's variables.
-func checkLoopClosures(pass *Pass, loopVars map[types.Object]bool, body *ast.BlockStmt) {
+func checkLoopClosures(info *types.Info, loopVars map[types.Object]bool, body *ast.BlockStmt, report func(token.Pos, string)) {
 	if len(loopVars) == 0 {
 		return
 	}
-	info := pass.Pkg.Info
 	ast.Inspect(body, func(n ast.Node) bool {
 		fl, ok := n.(*ast.FuncLit)
 		if !ok {
@@ -216,7 +300,7 @@ func checkLoopClosures(pass *Pass, loopVars map[types.Object]bool, body *ast.Blo
 			return !captures
 		})
 		if captures {
-			pass.Reportf(fl.Pos(), "closure over loop variable allocates every iteration in a hot path")
+			report(fl.Pos(), "closure over loop variable allocates every iteration in a hot path")
 		}
 		return false // nested literals are covered by the outer report
 	})

@@ -5,15 +5,10 @@ import (
 	"testing"
 )
 
-// TestLiveTreeClean runs the full suite over the real module — the same
-// invocation as `go run ./cmd/replint ./...` — and requires it to come
-// back empty. This is the gate that keeps the production tree honest:
-// any new violation must either be fixed or carry a reasoned
-// //replint:allow before tests pass.
-func TestLiveTreeClean(t *testing.T) {
-	if testing.Short() {
-		t.Skip("loads and type-checks the whole module")
-	}
+// loadLiveTree loads the real module — the same invocation as
+// `go run ./cmd/replint ./...`.
+func loadLiveTree(t *testing.T) *Loader {
+	t.Helper()
 	wd, err := os.Getwd()
 	if err != nil {
 		t.Fatal(err)
@@ -30,12 +25,46 @@ func TestLiveTreeClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return loader
+}
+
+// TestLiveTreeClean runs the full suite over the real module and
+// requires it to come back empty — load diagnostics included, so a
+// package that stops type-checking fails this test rather than
+// silently shrinking the analyzed tree. This is the gate that keeps
+// the production tree honest: any new violation must either be fixed
+// or carry a reasoned //replint:allow before tests pass.
+func TestLiveTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	loader := loadLiveTree(t)
 	pkgs, err := loader.LoadAll()
 	if err != nil {
 		t.Fatal(err)
 	}
 	findings := Run(loader.Fset, pkgs, All(), DefaultConfig())
+	findings = append(findings, DiagnosticFindings(loader.Diagnostics())...)
 	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+}
+
+// TestPoolCtxLeakNegative pins ctxleak's WaitGroup exemption against
+// the real bounded fan-out/fan-in loop: internal/pool launches plain
+// counting workers with no channel or context in sight, and only the
+// launcher-side wg.Wait makes that legal.
+func TestPoolCtxLeakNegative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks part of the module")
+	}
+	loader := loadLiveTree(t)
+	pkg, err := loader.Load("repro/internal/pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(loader.Fset, []*Package{pkg}, []*Analyzer{CtxLeak}, DefaultConfig())
+	for _, f := range findings {
+		t.Errorf("unexpected ctxleak finding in internal/pool: %s", f)
 	}
 }

@@ -1,10 +1,12 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
@@ -42,6 +44,25 @@ type Loader struct {
 	pkgs    map[string]*Package
 	typed   map[string]*types.Package
 	loading map[string]bool
+	failed  map[string]error // packages that did not load, by path
+	diags   []LoadDiagnostic
+}
+
+// LoadDiagnostic records one package the loader had to skip — a parse
+// or type-check failure — so the caller can surface it instead of
+// analyzing a partial module as if it were clean. Pos carries the
+// file:line of the first underlying error when one is known.
+type LoadDiagnostic struct {
+	Path string
+	Pos  token.Position
+	Msg  string
+}
+
+func (d LoadDiagnostic) String() string {
+	if d.Pos.Filename != "" {
+		return fmt.Sprintf("%s:%d:%d: package %s skipped: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Path, d.Msg)
+	}
+	return fmt.Sprintf("package %s skipped: %s", d.Path, d.Msg)
 }
 
 // NewLoader prepares a loader for the tree rooted at root, whose
@@ -62,6 +83,7 @@ func NewLoader(root, base string) (*Loader, error) {
 		pkgs:    map[string]*Package{},
 		typed:   map[string]*types.Package{},
 		loading: map[string]bool{},
+		failed:  map[string]error{},
 	}
 	if err := l.discover(); err != nil {
 		return nil, err
@@ -146,12 +168,16 @@ func (l *Loader) Paths() []string {
 	return out
 }
 
-// LoadAll loads every discovered package and returns them sorted by
-// import path.
+// LoadAll loads every discovered package and returns the ones that
+// parsed and type-checked, sorted by import path. Packages that fail
+// to load are NOT silent: each is recorded as a LoadDiagnostic
+// (retrievable via Diagnostics, convertible to findings with
+// DiagnosticFindings) so callers can report the partial-module
+// analysis instead of pretending the skipped code was clean.
 func (l *Loader) LoadAll() ([]*Package, error) {
 	for _, p := range l.Paths() {
 		if _, err := l.load(p); err != nil {
-			return nil, err
+			continue // recorded as a diagnostic by load
 		}
 	}
 	out := make([]*Package, 0, len(l.pkgs))
@@ -160,6 +186,62 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Path < out[b].Path })
 	return out, nil
+}
+
+// Load loads (or returns the cached) package with the given import
+// path. Unlike LoadAll it propagates the load error, though the
+// diagnostic is recorded either way.
+func (l *Loader) Load(path string) (*Package, error) {
+	if _, ok := l.dirs[path]; !ok {
+		return nil, fmt.Errorf("analysis: package %q not in tree", path)
+	}
+	return l.load(path)
+}
+
+// Diagnostics returns one entry per package the loader skipped,
+// sorted by import path.
+func (l *Loader) Diagnostics() []LoadDiagnostic {
+	out := make([]LoadDiagnostic, len(l.diags))
+	copy(out, l.diags)
+	sort.Slice(out, func(a, b int) bool { return out[a].Path < out[b].Path })
+	return out
+}
+
+// DiagnosticFindings converts load diagnostics into findings of the
+// pseudo-analyzer "load", so every replint output mode (text, JSON,
+// SARIF, baseline) carries them and a partial analysis can never pass
+// as a clean one.
+func DiagnosticFindings(diags []LoadDiagnostic) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, Finding{
+			Pos:      d.Pos,
+			Analyzer: "load",
+			Message:  fmt.Sprintf("package %s skipped (analysis is partial): %s", d.Path, d.Msg),
+		})
+	}
+	return out
+}
+
+// recordFailure notes a skipped package exactly once, extracting the
+// first file:line the underlying error points at.
+func (l *Loader) recordFailure(path string, err error) {
+	if _, dup := l.failed[path]; dup {
+		return
+	}
+	l.failed[path] = err
+	d := LoadDiagnostic{Path: path, Msg: err.Error()}
+	var list scanner.ErrorList
+	var terr types.Error
+	switch {
+	case errors.As(err, &list) && len(list) > 0:
+		d.Pos = list[0].Pos
+		d.Msg = list[0].Msg
+	case errors.As(err, &terr):
+		d.Pos = terr.Fset.Position(terr.Pos)
+		d.Msg = terr.Msg
+	}
+	l.diags = append(l.diags, d)
 }
 
 // Import implements types.Importer: local paths load (and cache) from
@@ -179,6 +261,9 @@ func (l *Loader) load(path string) (*Package, error) {
 	if p, ok := l.pkgs[path]; ok {
 		return p, nil
 	}
+	if err, ok := l.failed[path]; ok {
+		return nil, err
+	}
 	if l.loading[path] {
 		return nil, fmt.Errorf("analysis: import cycle through %q", path)
 	}
@@ -188,6 +273,7 @@ func (l *Loader) load(path string) (*Package, error) {
 	dir := l.dirs[path]
 	ents, err := os.ReadDir(dir)
 	if err != nil {
+		l.recordFailure(path, err)
 		return nil, err
 	}
 	var names []string
@@ -201,6 +287,7 @@ func (l *Loader) load(path string) (*Package, error) {
 	for _, name := range names {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
+			l.recordFailure(path, err)
 			return nil, err
 		}
 		files = append(files, f)
@@ -214,7 +301,9 @@ func (l *Loader) load(path string) (*Package, error) {
 	cfg := types.Config{Importer: l}
 	tpkg, err := cfg.Check(path, l.Fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+		err = fmt.Errorf("analysis: type-checking %s: %w", path, err)
+		l.recordFailure(path, err)
+		return nil, err
 	}
 	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = p

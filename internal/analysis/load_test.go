@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a fixture module in a temp dir. Broken sources
+// are generated here rather than checked in under testdata, where they
+// would trip gofmt and editor tooling.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadDiagnostics pins the partial-module contract: packages that
+// fail to parse or type-check do not vanish — each surfaces as a
+// LoadDiagnostic with a file:line, convertible to a "load" finding —
+// while healthy packages still load and get analyzed.
+func TestLoadDiagnostics(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"good/good.go":         "package good\n\nfunc Fine() int { return 1 }\n",
+		"badparse/badparse.go": "package badparse\n\nfunc Broken( {\n",
+		"badtypes/badtypes.go": "package badtypes\n\nvar X int = \"not an int\"\n",
+	})
+	loader, err := NewLoader(dir, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "m/good" {
+		t.Fatalf("loaded packages = %v, want just m/good", pkgs)
+	}
+
+	diags := loader.Diagnostics()
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if diags[0].Path != "m/badparse" || diags[1].Path != "m/badtypes" {
+		t.Fatalf("diagnostic order = %s, %s; want m/badparse, m/badtypes", diags[0].Path, diags[1].Path)
+	}
+	for _, d := range diags {
+		if d.Pos.Filename == "" || d.Pos.Line == 0 {
+			t.Errorf("diagnostic for %s has no file:line: %s", d.Path, d)
+		}
+	}
+
+	findings := DiagnosticFindings(diags)
+	if len(findings) != 2 {
+		t.Fatalf("got %d load findings, want 2", len(findings))
+	}
+	for _, f := range findings {
+		if f.Analyzer != "load" {
+			t.Errorf("finding analyzer = %q, want load", f.Analyzer)
+		}
+		if !strings.Contains(f.Message, "analysis is partial") {
+			t.Errorf("finding message %q does not state the analysis is partial", f.Message)
+		}
+	}
+}
+
+// TestLoadDiagnosticsCachedFailure pins that a failed package stays
+// failed (one diagnostic, not one per retry) when re-requested, e.g.
+// as an import of a healthy package.
+func TestLoadDiagnosticsCachedFailure(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"broken/broken.go": "package broken\n\nvar X int = \"s\"\n",
+		"user/user.go":     "package user\n\nimport \"m/broken\"\n\nvar Y = broken.X\n",
+	})
+	loader, err := NewLoader(dir, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+	diags := loader.Diagnostics()
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (broken once, user once): %v", len(diags), diags)
+	}
+	if diags[0].Path != "m/broken" || diags[1].Path != "m/user" {
+		t.Fatalf("diagnostic paths = %s, %s", diags[0].Path, diags[1].Path)
+	}
+}

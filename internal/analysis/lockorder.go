@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// LockOrder detects inconsistent mutex acquisition order across the
+// module — the deadlock class the sharded reconstruction accumulator
+// (internal/reconstruct/parallel.go) must never regress into as the
+// system grows multi-process. Two goroutines that each hold one of a
+// pair of locks while waiting for the other deadlock permanently; the
+// cure is a module-wide total order.
+//
+// The analyzer tracks, per function, which sync.Mutex/sync.RWMutex
+// variables (struct fields and package-level vars, identified by their
+// declared object) are held at each acquisition, in source order.
+// Acquisitions made by callees count too: a call made while holding a
+// lock contributes every lock the callee transitively acquires, via
+// the call graph. When the pair (A then B) is observed anywhere in the
+// module and (B then A) anywhere else, both acquisition sites are
+// reported with their counterpart's position.
+//
+// Known imprecision: tracking is linear in source order (branches are
+// not path-sensitive), and locks reached through interface calls or
+// function values are invisible — the same unsoundness trade the call
+// graph itself makes.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "sync.Mutex fields must be acquired in one module-wide order; " +
+		"an A→B acquisition in one function and B→A in another can deadlock",
+	Run: runLockOrder,
+}
+
+// lockAcq is one "B acquired while A held" observation.
+type lockAcq struct {
+	first, second types.Object // A (held), B (being acquired)
+	pos           token.Pos    // acquisition (or call) site of B
+	fn            types.Object // function observing the pair
+	via           types.Object // non-nil when B is acquired inside a callee
+}
+
+func runLockOrder(pass *Pass) {
+	g := pass.Facts.Graph
+
+	// directLocks: locks a function acquires in its own body.
+	direct := map[types.Object][]types.Object{}
+	for _, n := range g.sortedNodes() {
+		var acq []types.Object
+		ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if obj, kind := mutexOp(n.Pkg.Info, call); obj != nil && (kind == "Lock" || kind == "RLock") {
+					acq = append(acq, obj)
+				}
+			}
+			return true
+		})
+		direct[n.Obj] = acq
+	}
+
+	// transitive: locks a function acquires anywhere in its static
+	// call closure (memoized union over the graph).
+	memo := map[types.Object]map[types.Object]bool{}
+	var closure func(obj types.Object) map[types.Object]bool
+	closure = func(obj types.Object) map[types.Object]bool {
+		if v, ok := memo[obj]; ok {
+			return v
+		}
+		set := map[types.Object]bool{}
+		memo[obj] = set // cycle-safe: in-progress nodes contribute what is known so far
+		for _, l := range direct[obj] {
+			set[l] = true
+		}
+		for _, e := range g.Callees(obj) {
+			for l := range closure(e.Callee) {
+				set[l] = true
+			}
+		}
+		return set
+	}
+
+	// Collect ordered pairs per function with a linear held-set scan.
+	var pairs []lockAcq
+	for _, n := range g.sortedNodes() {
+		if isTestFile(pass.Fset, fileOf(n.Pkg, n.Decl.Pos())) {
+			continue
+		}
+		pairs = append(pairs, functionLockPairs(n, closure)...)
+	}
+
+	// Cross the pair table: (A,B) conflicts with (B,A).
+	type key struct{ a, b types.Object }
+	byOrder := map[key][]lockAcq{}
+	for _, p := range pairs {
+		byOrder[key{p.first, p.second}] = append(byOrder[key{p.first, p.second}], p)
+	}
+	reported := map[token.Pos]bool{}
+	// Deterministic iteration: walk pairs in collection order (source
+	// order over sorted nodes).
+	for _, p := range pairs {
+		rev := byOrder[key{p.second, p.first}]
+		if len(rev) == 0 || reported[p.pos] {
+			continue
+		}
+		reported[p.pos] = true
+		counter := rev[0]
+		cpos := pass.Fset.Position(counter.pos)
+		via := ""
+		if p.via != nil {
+			via = " (through " + FuncName(p.via) + ")"
+		}
+		pass.Reportf(p.pos,
+			"%s acquires %s while holding %s%s, but %s acquires them in the opposite order at %s:%d; pick one module-wide lock order",
+			FuncName(p.fn), lockName(p.second), lockName(p.first), via,
+			FuncName(counter.fn), filepath.Base(cpos.Filename), cpos.Line)
+	}
+}
+
+// functionLockPairs scans one function linearly, maintaining the set
+// of locks held, and records every second acquisition — direct or via
+// a callee's transitive closure — made while something is held.
+func functionLockPairs(n *CallNode, closure func(types.Object) map[types.Object]bool) []lockAcq {
+	info := n.Pkg.Info
+	single := singleAssignFuncLocals(info, n.Decl)
+	var held []types.Object
+	var out []lockAcq
+	unhold := func(obj types.Object) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i] == obj {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+	ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+		if _, isDefer := m.(*ast.DeferStmt); isDefer {
+			// A deferred unlock keeps the lock held to function end;
+			// a deferred lock would be bizarre — skip the subtree.
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj, kind := mutexOp(info, call); obj != nil {
+			switch kind {
+			case "Lock", "RLock":
+				for _, h := range held {
+					if h != obj {
+						out = append(out, lockAcq{first: h, second: obj, pos: call.Pos(), fn: n.Obj})
+					}
+				}
+				held = append(held, obj)
+			case "Unlock", "RUnlock":
+				unhold(obj)
+			}
+			return true
+		}
+		if len(held) > 0 {
+			if callee := resolveCallee(info, call.Fun, single); callee != nil {
+				inner := closure(callee)
+				// Deterministic order over the callee's lock set.
+				objs := make([]types.Object, 0, len(inner))
+				for l := range inner {
+					objs = append(objs, l)
+				}
+				sort.Slice(objs, func(a, b int) bool { return objs[a].Pos() < objs[b].Pos() })
+				for _, l := range objs {
+					for _, h := range held {
+						if h != l {
+							out = append(out, lockAcq{first: h, second: l, pos: call.Pos(), fn: n.Obj, via: callee})
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mutexOp matches calls of the form <lockable>.Lock/Unlock/RLock/
+// RUnlock where <lockable> resolves to a declared sync.Mutex or
+// sync.RWMutex variable (a struct field or a package-level var), and
+// returns that variable's object and the operation name.
+func mutexOp(info *types.Info, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	kind := sel.Sel.Name
+	switch kind {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	obj := lockVarObject(info, sel.X)
+	if obj == nil {
+		return nil, ""
+	}
+	return obj, kind
+}
+
+// lockVarObject resolves the variable whose mutex is being operated
+// on: `mu`, `s.mu`, `s.inner.mu` all resolve to the final declared
+// var.
+func lockVarObject(info *types.Info, e ast.Expr) types.Object {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[v].(*types.Var); ok && isMutexType(obj.Type()) {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[v.Sel].(*types.Var); ok && isMutexType(obj.Type()) {
+			return obj
+		}
+	case *ast.ParenExpr:
+		return lockVarObject(info, v.X)
+	case *ast.UnaryExpr:
+		if v.Op.String() == "&" {
+			return lockVarObject(info, v.X)
+		}
+	}
+	return nil
+}
+
+// isMutexType matches sync.Mutex and sync.RWMutex (possibly behind a
+// pointer).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// lockName renders a lock variable for reports.
+func lockName(obj types.Object) string {
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}

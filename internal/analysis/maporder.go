@@ -22,36 +22,37 @@ var MapOrder = &Analyzer{
 }
 
 func runMapOrder(pass *Pass) {
-	if !pass.Config.matches(pass.Config.NumericPaths, pass.Pkg.Path) {
-		return
-	}
-	info := pass.Pkg.Info
-	for _, file := range pass.Pkg.Files {
-		if isTestFile(pass.Fset, file) {
+	for _, pkg := range pass.Pkgs {
+		if !pass.Config.matches(pass.Config.NumericPaths, pkg.Path) {
 			continue
 		}
-		ast.Inspect(file, func(n ast.Node) bool {
-			rs, ok := n.(*ast.RangeStmt)
-			if !ok {
-				return true
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			if isTestFile(pass.Fset, file) {
+				continue
 			}
-			tv, ok := info.Types[rs.X]
-			if !ok {
+			ast.Inspect(file, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRangeBody(pass, info, rs.Body)
 				return true
-			}
-			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-				return true
-			}
-			checkMapRangeBody(pass, rs.Body)
-			return true
-		})
+			})
+		}
 	}
 }
 
 // checkMapRangeBody reports order-sensitive operations inside the body
 // of a map range.
-func checkMapRangeBody(pass *Pass, body *ast.BlockStmt) {
-	info := pass.Pkg.Info
+func checkMapRangeBody(pass *Pass, info *types.Info, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch s := n.(type) {
 		case *ast.SendStmt:

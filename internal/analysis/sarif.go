@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SARIF (Static Analysis Results Interchange Format) 2.1.0 export,
+// the interchange shape GitHub code scanning ingests for inline PR
+// annotations. Only the stdlib-expressible subset is emitted: one run,
+// one tool driver ("replint") with a reportingDescriptor per analyzer,
+// and one result per finding with a physical location relative to the
+// module root.
+
+const (
+	sarifVersion   = "2.1.0"
+	sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIF renders findings as a SARIF 2.1.0 log. root, when non-empty,
+// is stripped from file paths so URIs come out repo-relative with
+// forward slashes — the form GitHub's annotation mapper needs. The
+// rules table lists every analyzer given (typically All()), plus
+// pseudo-rules for any finding whose analyzer is not in the list
+// ("suppression", "load"), so every result's ruleId resolves.
+func SARIF(findings []Finding, analyzers []*Analyzer, root string) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers)+2)
+	seen := map[string]bool{}
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+		seen[a.Name] = true
+	}
+	var extra []string
+	for _, f := range findings {
+		if !seen[f.Analyzer] {
+			seen[f.Analyzer] = true
+			extra = append(extra, f.Analyzer)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		doc := "replint pseudo-rule"
+		switch name {
+		case "suppression":
+			doc = "a //replint:allow comment without an analyzer name or a written reason"
+		case "load":
+			doc = "a package the loader had to skip; the analysis of the module is partial"
+		}
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifMessage{Text: doc}})
+	}
+	sort.Slice(rules, func(a, b int) bool { return rules[a].ID < rules[b].ID })
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		uri := relPath(root, f.Pos.Filename)
+		line := f.Pos.Line
+		if line < 1 {
+			line = 1 // SARIF requires startLine ≥ 1; diagnostics may lack one
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: uri},
+					Region:           sarifRegion{StartLine: line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "replint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// relPath renders filename relative to root with forward slashes;
+// files outside root (or with an unknown root) keep their absolute
+// path, still slash-normalized.
+func relPath(root, filename string) string {
+	if filename == "" {
+		return "unknown"
+	}
+	if root != "" {
+		if r, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+	}
+	return filepath.ToSlash(filename)
+}

@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// sarifSubsetSchema is the structural subset of the SARIF 2.1.0 JSON
+// schema (sarif-schema-2.1.0.json) that governs everything replint
+// emits: required properties, the version enum, the result level
+// enum, and the startLine/startColumn ≥ 1 constraints. The validator
+// below interprets it with standard JSON Schema semantics for the
+// keywords used (type, required, properties, items, enum, minimum),
+// so a log that passes here satisfies the corresponding constraints
+// of the full schema.
+const sarifSubsetSchema = `{
+  "type": "object",
+  "required": ["version", "runs"],
+  "properties": {
+    "$schema": {"type": "string"},
+    "version": {"type": "string", "enum": ["2.1.0"]},
+    "runs": {
+      "type": "array",
+      "items": {
+        "type": "object",
+        "required": ["tool"],
+        "properties": {
+          "tool": {
+            "type": "object",
+            "required": ["driver"],
+            "properties": {
+              "driver": {
+                "type": "object",
+                "required": ["name"],
+                "properties": {
+                  "name": {"type": "string"},
+                  "rules": {
+                    "type": "array",
+                    "items": {
+                      "type": "object",
+                      "required": ["id"],
+                      "properties": {
+                        "id": {"type": "string"},
+                        "shortDescription": {
+                          "type": "object",
+                          "required": ["text"],
+                          "properties": {"text": {"type": "string"}}
+                        }
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          },
+          "results": {
+            "type": "array",
+            "items": {
+              "type": "object",
+              "required": ["message"],
+              "properties": {
+                "ruleId": {"type": "string"},
+                "level": {"type": "string", "enum": ["none", "note", "warning", "error"]},
+                "message": {"type": "object", "required": ["text"], "properties": {"text": {"type": "string"}}},
+                "locations": {
+                  "type": "array",
+                  "items": {
+                    "type": "object",
+                    "properties": {
+                      "physicalLocation": {
+                        "type": "object",
+                        "properties": {
+                          "artifactLocation": {
+                            "type": "object",
+                            "properties": {"uri": {"type": "string"}}
+                          },
+                          "region": {
+                            "type": "object",
+                            "properties": {
+                              "startLine": {"type": "integer", "minimum": 1},
+                              "startColumn": {"type": "integer", "minimum": 1}
+                            }
+                          }
+                        }
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}`
+
+// validateSchema checks value against a decoded JSON-Schema subset
+// (type, required, properties, items, enum, minimum), returning every
+// violation with its JSON path.
+func validateSchema(schema map[string]interface{}, value interface{}, path string) []string {
+	var errs []string
+	fail := func(format string, args ...interface{}) {
+		errs = append(errs, path+": "+fmt.Sprintf(format, args...))
+	}
+	if want, ok := schema["type"].(string); ok {
+		switch want {
+		case "object":
+			if _, ok := value.(map[string]interface{}); !ok {
+				fail("not an object: %T", value)
+				return errs
+			}
+		case "array":
+			if _, ok := value.([]interface{}); !ok {
+				fail("not an array: %T", value)
+				return errs
+			}
+		case "string":
+			if _, ok := value.(string); !ok {
+				fail("not a string: %T", value)
+				return errs
+			}
+		case "integer":
+			f, ok := value.(float64)
+			if !ok || f != float64(int64(f)) {
+				fail("not an integer: %v", value)
+				return errs
+			}
+		}
+	}
+	if enum, ok := schema["enum"].([]interface{}); ok {
+		found := false
+		for _, e := range enum {
+			if e == value {
+				found = true
+			}
+		}
+		if !found {
+			fail("%v not in enum %v", value, enum)
+		}
+	}
+	if min, ok := schema["minimum"].(float64); ok {
+		if f, ok := value.(float64); ok && f < min {
+			fail("%v below minimum %v", f, min)
+		}
+	}
+	if obj, ok := value.(map[string]interface{}); ok {
+		if req, ok := schema["required"].([]interface{}); ok {
+			for _, r := range req {
+				if _, present := obj[r.(string)]; !present {
+					fail("missing required property %q", r)
+				}
+			}
+		}
+		if props, ok := schema["properties"].(map[string]interface{}); ok {
+			for name, sub := range props {
+				if v, present := obj[name]; present {
+					errs = append(errs, validateSchema(sub.(map[string]interface{}), v, path+"."+name)...)
+				}
+			}
+		}
+	}
+	if arr, ok := value.([]interface{}); ok {
+		if items, ok := schema["items"].(map[string]interface{}); ok {
+			for i, v := range arr {
+				errs = append(errs, validateSchema(items, v, fmt.Sprintf("%s[%d]", path, i))...)
+			}
+		}
+	}
+	return errs
+}
+
+func sarifTestFindings() []Finding {
+	return []Finding{
+		{Pos: token.Position{Filename: "/repo/internal/core/refine.go", Line: 42, Column: 7},
+			Analyzer: "hotpathalloc", Message: "append in hot path"},
+		{Pos: token.Position{Filename: "/repo/internal/serve/manager.go", Line: 9, Column: 1},
+			Analyzer: "ctxleak", Message: "goroutine has no cancellation path"},
+		// A diagnostic with no position: startLine must clamp to 1.
+		{Pos: token.Position{}, Analyzer: "load", Message: "package x skipped (analysis is partial): parse error"},
+	}
+}
+
+// TestSARIFSchema validates the emitted log against the SARIF 2.1.0
+// schema subset and the cross-reference rule GitHub enforces: every
+// result's ruleId resolves in the driver's rules table.
+func TestSARIFSchema(t *testing.T) {
+	data, err := SARIF(sarifTestFindings(), All(), "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schema map[string]interface{}
+	if err := json.Unmarshal([]byte(sarifSubsetSchema), &schema); err != nil {
+		t.Fatalf("embedded schema is invalid JSON: %v", err)
+	}
+	var log interface{}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF output is invalid JSON: %v", err)
+	}
+	for _, e := range validateSchema(schema, log, "$") {
+		t.Errorf("schema violation: %s", e)
+	}
+
+	root := log.(map[string]interface{})
+	run := root["runs"].([]interface{})[0].(map[string]interface{})
+	driver := run["tool"].(map[string]interface{})["driver"].(map[string]interface{})
+	ruleIDs := map[string]bool{}
+	var order []string
+	for _, r := range driver["rules"].([]interface{}) {
+		id := r.(map[string]interface{})["id"].(string)
+		ruleIDs[id] = true
+		order = append(order, id)
+	}
+	if !sort.StringsAreSorted(order) {
+		t.Errorf("rules not sorted by id: %v", order)
+	}
+	for i, res := range run["results"].([]interface{}) {
+		rm := res.(map[string]interface{})
+		if id := rm["ruleId"].(string); !ruleIDs[id] {
+			t.Errorf("results[%d].ruleId %q not in driver.rules", i, id)
+		}
+		loc := rm["locations"].([]interface{})[0].(map[string]interface{})
+		uri := loc["physicalLocation"].(map[string]interface{})["artifactLocation"].(map[string]interface{})["uri"].(string)
+		if strings.HasPrefix(uri, "/") || strings.Contains(uri, "\\") {
+			t.Errorf("results[%d] uri %q is not repo-relative with forward slashes", i, uri)
+		}
+	}
+}

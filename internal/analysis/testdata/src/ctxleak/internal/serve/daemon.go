@@ -1,0 +1,72 @@
+// Package serve is the ctxleak fixture: its import path contains
+// "internal/serve", so every goroutine launched here needs a
+// termination path — a WaitGroup join in the launcher, or (anywhere in
+// the launched call graph) a channel receive or a context read.
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// spin burns forever with no way to observe shutdown.
+func spin(n *int) {
+	for {
+		*n++
+	}
+}
+
+// churn is one clean hop in front of spin; the leak survives the
+// indirection.
+func churn(n *int) {
+	spin(n)
+}
+
+// LaunchLeaky fires an unjoined, uncancellable goroutine.
+func LaunchLeaky(n *int) {
+	go spin(n) // want ctxleak "goroutine has no cancellation path"
+}
+
+// LaunchLeakyDeep is the same leak two hops down the call graph.
+func LaunchLeakyDeep(n *int) {
+	go churn(n) // want ctxleak "goroutine has no cancellation path"
+}
+
+// Pump is cancellable: closing ch terminates the range loop.
+func Pump(ch chan int, out *int) {
+	go func() {
+		for v := range ch {
+			*out += v
+		}
+	}()
+}
+
+// WatchCtx delegates the context read two hops down; the call-graph
+// pass finds it, so this stays clean.
+func WatchCtx(ctx context.Context, out *int) {
+	go tick(ctx, out)
+}
+
+func tick(ctx context.Context, out *int) {
+	await(ctx)
+	*out++
+}
+
+func await(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// Fan is the bounded fan-out/fan-in shape internal/pool uses: the
+// launcher joins every worker before returning, so the workers need no
+// cancellation path of their own.
+func Fan(work []int, out *int) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() {
+			*out++
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,15 @@
+// Package tools sits outside the concurrency-scoped paths, so its
+// goroutines are not ctxleak's business (asserted by the absence of
+// want comments).
+package tools
+
+// Background launches an unjoined helper; legal out of scope.
+func Background(n *int) {
+	go run(n)
+}
+
+func run(n *int) {
+	for {
+		*n++
+	}
+}

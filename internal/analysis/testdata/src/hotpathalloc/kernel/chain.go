@@ -1,0 +1,47 @@
+// chain.go is the interprocedural half of the hotpathalloc fixture:
+// Drive carries the //repro:hotpath tag and allocates nothing itself —
+// the banned allocation hides two calls down in gather, so only the
+// call-graph pass can see it. The finding lands on the call edge into
+// the allocating helper, with the whole chain spelled out.
+package kernel
+
+// Drive is the tagged entry point; every function it reaches inherits
+// the no-alloc contract.
+//
+//repro:hotpath
+func Drive(xs, buf []float64) float64 {
+	return stage(xs, buf)
+}
+
+// stage is alloc-free and merely forwards into the allocating tail;
+// the finding is reported here, at the edge into gather.
+func stage(xs, buf []float64) float64 {
+	return gather(xs, buf) // want hotpathalloc "call chain kernel.Drive → kernel.stage → kernel.gather"
+}
+
+// gather grows its scratch per call — fine on a cold path, a contract
+// violation once a tagged kernel can reach it.
+func gather(xs, buf []float64) float64 {
+	var out []float64
+	for _, v := range xs {
+		out = append(out, v)
+	}
+	var total float64
+	for i, v := range out {
+		total += v * buf[i%len(buf)]
+	}
+	return total
+}
+
+// reshape allocates the same way but is reachable from no tagged
+// function, so it stays legal (asserted by the absence of a want
+// comment).
+func reshape(xs []float64) []float64 {
+	var out []float64
+	for _, v := range xs {
+		out = append(out, 2*v)
+	}
+	return out
+}
+
+var _ = reshape

@@ -1,0 +1,76 @@
+// Package locks is the lockorder fixture: pair demonstrates the
+// direct A→B / B→A conflict, tree the same conflict where one side
+// acquires through a callee, and ordered the compliant shape — one
+// module-wide order, deferred unlocks included.
+package locks
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// AB takes a then b.
+func (p *pair) AB() {
+	p.a.Lock()
+	p.b.Lock() // want lockorder "acquires locks.b while holding locks.a"
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// BA takes b then a — the conflicting order.
+func (p *pair) BA() {
+	p.b.Lock()
+	p.a.Lock() // want lockorder "acquires locks.a while holding locks.b"
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+type tree struct {
+	root sync.Mutex
+	leaf sync.Mutex
+}
+
+func (t *tree) lockLeaf() {
+	t.leaf.Lock()
+	t.leaf.Unlock()
+}
+
+// Down holds root and takes leaf through a callee — the call graph
+// charges the acquisition to the call site.
+func (t *tree) Down() {
+	t.root.Lock()
+	t.lockLeaf() // want lockorder "through locks.tree.lockLeaf"
+	t.root.Unlock()
+}
+
+// Up takes them directly in the opposite order.
+func (t *tree) Up() {
+	t.leaf.Lock()
+	t.root.Lock() // want lockorder "acquires locks.root while holding locks.leaf"
+	t.root.Unlock()
+	t.leaf.Unlock()
+}
+
+type ordered struct {
+	first  sync.Mutex
+	second sync.Mutex
+}
+
+// Fill and Drain agree on first→second, so neither is reported; the
+// deferred unlocks keep first held across the second acquisition,
+// which is exactly the pair the scan records — consistently.
+func (o *ordered) Fill() {
+	o.first.Lock()
+	defer o.first.Unlock()
+	o.second.Lock()
+	defer o.second.Unlock()
+}
+
+func (o *ordered) Drain() {
+	o.first.Lock()
+	o.second.Lock()
+	o.second.Unlock()
+	o.first.Unlock()
+}

@@ -1,0 +1,27 @@
+// chain.go is the interprocedural half of the oracleguard fixture: the
+// oracle reference hides behind one production hop, so the direct scan
+// cannot see it from Report — only the call-graph pass can follow
+// Report → BuildMap → SlowInsert.
+package lib
+
+// Report aggregates through BuildMap, which itself leans on the
+// reference scatter — production code two hops from an oracle.
+func Report(vals []float64) float64 {
+	acc := BuildMap(vals) // want oracleguard "call chain lib.Report → lib.BuildMap → lib.SlowInsert"
+	var total float64
+	for _, v := range acc {
+		total += v
+	}
+	return total
+}
+
+// CleanReport is the compliant mirror: the production path all the way
+// down, no finding.
+func CleanReport(vals []float64) float64 {
+	acc := CleanBuildMap(vals)
+	var total float64
+	for _, v := range acc {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+// chain.go is the interprocedural half of the simclock fixture: the
+// wall-clock read is perfectly legal where it lives (tools is out of
+// scope), but a simulated-clock package reaching it through helpers is
+// still nondeterministic — the call-graph pass follows the laundering.
+package core
+
+import "tools"
+
+// StampVia launders a wall-clock read through two out-of-scope hops.
+func StampVia() int64 {
+	return tools.Relay() // want simclock "call chain core.StampVia → tools.Relay → tools.Stamp"
+}

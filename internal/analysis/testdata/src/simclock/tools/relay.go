@@ -1,0 +1,9 @@
+// relay.go gives the wall-clock read a second hop: Relay is legal
+// where it lives (tools is out of scope) but becomes a laundering path
+// the moment simulated-clock code calls it.
+package tools
+
+// Relay forwards to the wall-clock read.
+func Relay() int64 {
+	return Stamp()
+}
