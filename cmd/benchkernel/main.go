@@ -67,6 +67,12 @@ type Report struct {
 	CutCacheHitRate             float64 `json:"cut_cache_hit_rate"`
 	NsPerRefineViewExhaustive   float64 `json:"ns_per_refine_view_exhaustive"`
 	RefineFinalErrExhaustiveDeg float64 `json:"refine_final_err_exhaustive_deg"`
+
+	// History carries the file's prior runs forward, newest last, each
+	// entry an earlier report with its own history stripped
+	// (benchutil.LoadHistory) — reruns extend the perf trajectory
+	// instead of erasing it.
+	History []json.RawMessage `json:"history,omitempty"`
 }
 
 func main() {
@@ -191,6 +197,10 @@ func main() {
 		fatal(err)
 	}
 
+	rep.History, err = benchutil.LoadHistory(*out, 0)
+	if err != nil {
+		fatal(err)
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)

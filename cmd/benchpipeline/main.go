@@ -71,6 +71,12 @@ type Report struct {
 	StreamFFTWorkers int     `json:"stream_fft_workers"`
 	StreamRefiners   int     `json:"stream_refine_workers"`
 	StreamDepth      int     `json:"stream_depth"`
+
+	// History carries the file's prior runs forward, newest last, each
+	// entry an earlier report with its own history stripped
+	// (benchutil.LoadHistory) — reruns extend the perf trajectory
+	// instead of erasing it.
+	History []json.RawMessage `json:"history,omitempty"`
 }
 
 func main() {
@@ -213,6 +219,10 @@ func main() {
 		fatal(err)
 	}
 
+	rep.History, err = benchutil.LoadHistory(*out, 0)
+	if err != nil {
+		fatal(err)
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)

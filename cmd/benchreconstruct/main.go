@@ -56,6 +56,12 @@ type Report struct {
 
 	MaxRelDiffVsOracle        float64 `json:"max_rel_diff_vs_oracle"`
 	BitIdenticalAcrossWorkers bool    `json:"bit_identical_across_workers"`
+
+	// History carries the file's prior runs forward, newest last, each
+	// entry an earlier report with its own history stripped
+	// (benchutil.LoadHistory) — reruns extend the perf trajectory
+	// instead of erasing it.
+	History []json.RawMessage `json:"history,omitempty"`
 }
 
 func main() {
@@ -221,6 +227,10 @@ func main() {
 		fatal(err)
 	}
 
+	rep.History, err = benchutil.LoadHistory(*out, 0)
+	if err != nil {
+		fatal(err)
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)

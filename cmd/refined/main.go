@@ -28,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,6 +56,9 @@ func run() error {
 		refineW    = flag.Int("refine-workers", 0, "refine-stage workers per job (0 = GOMAXPROCS)")
 		depth      = flag.Int("depth", 0, "stream channel depth per job (0 = derived)")
 		levelDelay = flag.Duration("level-delay", 0, "artificial pause after each level checkpoint (smoke tests: widens the kill window)")
+		eventsCap  = flag.Int("events-cap", 4096, "event ring capacity backing /events and /jobs/{id}/events (0 disables the event log)")
+		eventsOut  = flag.String("events-out", "", "write the retained event log as JSONL to this file on drain")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in: profiling endpoints expose internals)")
 	)
 	flag.Parse()
 	log.SetPrefix("refined: ")
@@ -62,6 +66,10 @@ func run() error {
 
 	obs.SetEnabled(true)
 	obs.StartTrace()
+	var events *obs.EventLog
+	if *eventsCap > 0 {
+		events = obs.StartEvents(*eventsCap)
+	}
 
 	opt := serve.Options{
 		QueueDepth: *queue,
@@ -101,7 +109,19 @@ func run() error {
 		}
 	}
 
-	srv := &http.Server{Handler: serve.NewHandler(m), ReadHeaderTimeout: 10 * time.Second}
+	var handler http.Handler = serve.NewHandler(m)
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof mounted at /debug/pprof/")
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -119,6 +139,20 @@ func run() error {
 	// HTTP is down; park running jobs at their next checkpoint so a
 	// restart with the same journal resumes them.
 	m.Drain()
+	if events != nil && *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			return fmt.Errorf("creating -events-out: %w", err)
+		}
+		werr := events.WriteJSONL(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing -events-out: %w", werr)
+		}
+		log.Printf("wrote event log to %s", *eventsOut)
+	}
 	log.Printf("drained")
 	return nil
 }

@@ -124,6 +124,7 @@ func TestHotpathAllocFixture(t *testing.T) { checkFixture(t, "hotpathalloc") }
 func TestErrSinkFixture(t *testing.T)      { checkFixture(t, "errsink") }
 func TestServeFixture(t *testing.T)        { checkFixture(t, "serve") }
 func TestObsSpanFixture(t *testing.T)      { checkFixture(t, "obsspan") }
+func TestObsEventFixture(t *testing.T)     { checkFixture(t, "obsevent") }
 func TestCtxLeakFixture(t *testing.T)      { checkFixture(t, "ctxleak") }
 func TestLockOrderFixture(t *testing.T)    { checkFixture(t, "lockorder") }
 

@@ -20,7 +20,11 @@ import (
 //   - numeric slices passed to interface parameters (the conversion
 //     boxes the slice header on the heap — the classic fmt leak),
 //   - function literals capturing loop variables (each iteration
-//     allocates a closure).
+//     allocates a closure),
+//   - obs event emission (obs.Emit or EventLog.Emit): events narrate
+//     job lifecycle edges at the level/job layer — inside a
+//     per-candidate kernel the enabled path would build a record and
+//     take the ring lock millions of times per pass.
 //
 // The contract is transitive: the same checks run over every function
 // statically reachable from a tagged root through the module call
@@ -34,7 +38,8 @@ var HotpathAlloc = &Analyzer{
 	Name: "hotpathalloc",
 	Doc: "//repro:hotpath functions — and every function they transitively call — " +
 		"may not allocate per call: no growing append, no escaping composite literals, " +
-		"no numeric-slice→interface conversions, no closures over loop variables",
+		"no numeric-slice→interface conversions, no closures over loop variables, " +
+		"no obs event emission",
 	Run: runHotpathAlloc,
 }
 
@@ -146,6 +151,10 @@ func allocSites(info *types.Info, fd *ast.FuncDecl) []allocSite {
 					report(e.Pos(), "append in hot path without a same-function make(..., cap): growth reallocates inside the kernel loop")
 				}
 			}
+			if obj := calleeObject(info, e); obj != nil && obj.Name() == "Emit" &&
+				obj.Pkg() != nil && obj.Pkg().Name() == "obs" {
+				report(e.Pos(), "obs event emission in a hot path: events narrate job lifecycle edges, not kernel loops — lift the Emit to the level/job layer")
+			}
 			checkInterfaceArgs(info, e, report)
 		case *ast.UnaryExpr:
 			if e.Op.String() == "&" {
@@ -200,6 +209,19 @@ func cappedLocals(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
 		return true
 	})
 	return out
+}
+
+// calleeObject resolves the object a call expression invokes: a plain
+// identifier (package function) or the selected method/function of a
+// selector expression.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return info.Uses[f]
+	case *ast.SelectorExpr:
+		return info.Uses[f.Sel]
+	}
+	return nil
 }
 
 // sliceRootObject resolves the identifier at the root of an append

@@ -1,0 +1,49 @@
+// Package obs is a miniature of the real instrumentation package's
+// event layer: a package-level Emit that forwards to an active log,
+// and the EventLog method behind it — the two call shapes hotpathalloc
+// must recognise inside tagged kernels.
+package obs
+
+import "sync"
+
+// EventField is one integer annotation on an event record.
+type EventField struct {
+	Key   string
+	Value int64
+}
+
+// EventFieldsMax is the fixed per-record field capacity.
+const EventFieldsMax = 4
+
+// EventLog is a bounded event ring (ring omitted — the fixture only
+// needs the call signatures).
+type EventLog struct {
+	mu   sync.Mutex
+	next uint64
+}
+
+var active *EventLog
+
+// Emit records one event on the active log, if any.
+func Emit(kind, job string, level int, ts float64, fields [EventFieldsMax]EventField) {
+	if active == nil {
+		return
+	}
+	active.Emit(kind, job, level, ts, fields)
+}
+
+// Emit appends one record to the log.
+func (l *EventLog) Emit(kind, job string, level int, ts float64, fields [EventFieldsMax]EventField) {
+	l.mu.Lock()
+	l.next++
+	_ = kind
+	_ = fields
+	l.mu.Unlock()
+}
+
+// Counter is the metric shape that stays allowed in kernels.
+type Counter struct{ v int64 }
+
+// Inc bumps the counter (atomics omitted; the analyzer only needs the
+// call shape).
+func (c *Counter) Inc() { c.v++ }

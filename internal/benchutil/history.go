@@ -1,0 +1,57 @@
+package benchutil
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Bench reports accumulate a trajectory instead of overwriting it:
+// before a BENCH_*.json is rewritten, the file's current body (its own
+// history stripped) is pushed onto a "history" array that the new
+// report carries forward. Every entry keeps its run_meta, so a history
+// spanning machines or Go versions still compares like with like.
+
+// HistoryMax is the default cap on carried-forward entries; the oldest
+// fall off first.
+const HistoryMax = 20
+
+// LoadHistory reads the report currently at path and returns the
+// history array for the report about to replace it: the file's prior
+// entries plus the file's own body appended as the newest entry,
+// trimmed to the most recent max (HistoryMax when max <= 0). A missing
+// file yields an empty history; an unreadable or unparseable one is an
+// error so a corrupt trajectory is noticed rather than silently
+// restarted.
+func LoadHistory(path string, max int) ([]json.RawMessage, error) {
+	if max <= 0 {
+		max = HistoryMax
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parsing existing report %s: %w", path, err)
+	}
+	var history []json.RawMessage
+	if raw, ok := doc["history"]; ok {
+		if err := json.Unmarshal(raw, &history); err != nil {
+			return nil, fmt.Errorf("parsing history in %s: %w", path, err)
+		}
+		delete(doc, "history")
+	}
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	history = append(history, body)
+	if len(history) > max {
+		history = history[len(history)-max:]
+	}
+	return history, nil
+}

@@ -1,0 +1,126 @@
+package benchutil
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fakeReport mimics a BENCH_*.json envelope.
+type fakeReport struct {
+	SchemaVersion int               `json:"schema_version"`
+	RunMeta       RunMeta           `json:"run_meta"`
+	NsPerOp       float64           `json:"ns_per_op"`
+	History       []json.RawMessage `json:"history,omitempty"`
+}
+
+func writeReport(t *testing.T, path string, rep fakeReport) {
+	t.Helper()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadHistoryAccumulates: successive rewrites stack prior bodies,
+// oldest first, each entry stripped of its own history.
+func TestLoadHistoryAccumulates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+
+	// First run: no file yet, empty history.
+	h, err := LoadHistory(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 0 {
+		t.Fatalf("fresh history has %d entries", len(h))
+	}
+
+	meta := CurrentRunMeta()
+	for run := 1; run <= 3; run++ {
+		h, err := LoadHistory(path, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(h) != run-1 {
+			t.Fatalf("run %d: history has %d entries", run, len(h))
+		}
+		writeReport(t, path, fakeReport{SchemaVersion: BenchSchemaVersion, RunMeta: meta,
+			NsPerOp: float64(run), History: h})
+	}
+
+	// The file now holds run 3 with runs 1 and 2 in order.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep fakeReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.NsPerOp != 3 || len(rep.History) != 2 {
+		t.Fatalf("final report: ns %g, %d history entries", rep.NsPerOp, len(rep.History))
+	}
+	for i, want := range []float64{1, 2} {
+		var old fakeReport
+		if err := json.Unmarshal(rep.History[i], &old); err != nil {
+			t.Fatal(err)
+		}
+		if old.NsPerOp != want {
+			t.Fatalf("history[%d] ns %g, want %g", i, old.NsPerOp, want)
+		}
+		if old.History != nil {
+			t.Fatalf("history[%d] carries nested history", i)
+		}
+		// run_meta survives inside each entry, keying it to its machine.
+		if old.RunMeta != CurrentRunMeta() {
+			t.Fatalf("history[%d] lost run_meta: %+v", i, old.RunMeta)
+		}
+	}
+}
+
+// TestLoadHistoryCap: entries beyond max fall off oldest-first.
+func TestLoadHistoryCap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	for run := 1; run <= 5; run++ {
+		h, err := LoadHistory(path, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeReport(t, path, fakeReport{NsPerOp: float64(run), History: h})
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep fakeReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.History) != 2 {
+		t.Fatalf("capped history has %d entries", len(rep.History))
+	}
+	var oldest fakeReport
+	if err := json.Unmarshal(rep.History[0], &oldest); err != nil {
+		t.Fatal(err)
+	}
+	if oldest.NsPerOp != 3 {
+		t.Fatalf("oldest retained entry is run %g, want 3", oldest.NsPerOp)
+	}
+}
+
+// TestLoadHistoryCorrupt: a malformed existing report is an error, not
+// a silent trajectory reset.
+func TestLoadHistoryCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadHistory(path, 0); err == nil {
+		t.Fatal("corrupt report loaded without error")
+	}
+}

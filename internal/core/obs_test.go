@@ -14,8 +14,9 @@ import (
 )
 
 // The determinism contract under instrumentation: enabling counters,
-// pprof stage labels and trace recording must leave refinement output
-// and simulated-clock totals bit-identical. Instruments only read the
+// pprof stage labels, trace recording and the structured event log
+// must leave refinement output and simulated-clock totals
+// bit-identical. Instruments only read the
 // simulated clock and bump atomics — these tests pin that property
 // (and run under -race in CI, exercising the concurrent bumps).
 
@@ -61,8 +62,10 @@ func TestRefineBatchBitIdenticalUnderObs(t *testing.T) {
 
 	obs.SetEnabled(true)
 	obs.StartTrace()
+	obs.StartEvents(1024)
 	instrumented := run()
 	obs.EndTrace()
+	obs.StopEvents()
 
 	if !reflect.DeepEqual(plain, instrumented) {
 		t.Fatalf("RefineBatch results differ under instrumentation:\n  plain        %+v\n  instrumented %+v",
@@ -84,7 +87,9 @@ func TestRefineStreamBitIdenticalUnderObs(t *testing.T) {
 	}
 
 	obs.SetEnabled(true)
+	obs.StartEvents(1024)
 	instrumented, err := r.RefineStream(context.Background(), n, src, opt)
+	obs.StopEvents()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,8 +124,10 @@ func TestRefineOnClusterTimingsBitIdenticalUnderObs(t *testing.T) {
 
 	obs.SetEnabled(true)
 	tr := obs.StartTrace()
+	obs.StartEvents(1024)
 	instRes, instTimes := run()
 	obs.EndTrace()
+	obs.StopEvents()
 
 	if plainTimes != instTimes {
 		t.Fatalf("simulated step times differ under instrumentation:\n  plain        %+v\n  instrumented %+v",

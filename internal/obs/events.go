@@ -1,0 +1,289 @@
+// Events: a bounded, ring-buffered structured event log for the job
+// layer. Where counters aggregate and spans time, events *narrate*: one
+// typed record per lifecycle edge (admit, dequeue, level start/end,
+// checkpoint, terminal), stamped with the emitting layer's logical
+// clock, carrying a fixed-width set of integer fields. The log is the
+// backing store for the serve package's SSE/long-poll streaming
+// endpoints: every record gets a monotonically increasing sequence
+// number, readers keep a since-cursor, and a reader that fell behind
+// the ring learns exactly how many records it lost.
+//
+// Activation mirrors the trace (trace.go): an atomic pointer to the
+// active log, so the disabled path of Emit is one atomic load and zero
+// allocations (BenchmarkEmitDisabled). Timestamps are logical-clock
+// readings supplied by the caller — wall time never enters a record,
+// which keeps event streams reproducible under the simulated clock.
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EventField is one integer annotation on an event record. A zero Key
+// means unset; set fields must be contiguous from index 0.
+type EventField struct {
+	Key   string
+	Value int64
+}
+
+// EventFieldsMax is the fixed field capacity of one record — fixed so
+// emission never allocates.
+const EventFieldsMax = 4
+
+// EventRecord is one structured log entry.
+type EventRecord struct {
+	// Seq is the record's 1-based sequence number, monotonically
+	// increasing over the life of the log.
+	Seq uint64
+	// TS is the logical-clock reading the emitter stamped.
+	TS float64
+	// Job is the subject job ID ("" for process-level events).
+	Job string
+	// Level is the zero-based schedule level the event concerns, or -1
+	// when the event is not level-scoped.
+	Level int
+	// Kind names the lifecycle edge ("admit", "level_end", ...).
+	Kind string
+	// Fields carries up to EventFieldsMax integer annotations.
+	Fields [EventFieldsMax]EventField
+}
+
+// AppendJSON appends the record as one deterministic JSON object —
+// fixed key order, fields as a nested object in emission order — and
+// returns the extended slice. The same bytes back the JSONL export and
+// the SSE data frames, so a stream capture *is* a valid JSONL journal.
+func (e *EventRecord) AppendJSON(dst []byte) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendUint(dst, e.Seq, 10)
+	dst = append(dst, `,"logical_ts":`...)
+	dst = strconv.AppendFloat(dst, e.TS, 'g', -1, 64)
+	if e.Job != "" {
+		dst = append(dst, `,"job":`...)
+		dst = strconv.AppendQuote(dst, e.Job)
+	}
+	dst = append(dst, `,"level":`...)
+	dst = strconv.AppendInt(dst, int64(e.Level), 10)
+	dst = append(dst, `,"kind":`...)
+	dst = strconv.AppendQuote(dst, e.Kind)
+	dst = append(dst, `,"fields":{`...)
+	for i, f := range e.Fields {
+		if f.Key == "" {
+			break
+		}
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendQuote(dst, f.Key)
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, f.Value, 10)
+	}
+	dst = append(dst, `}}`...)
+	return dst
+}
+
+// MarshalJSON implements encoding/json.Marshaler via AppendJSON, so a
+// record embedded in a JSON envelope (the serve long-poll response)
+// has the same shape as the JSONL export and the SSE data frames.
+func (e EventRecord) MarshalJSON() ([]byte, error) { return e.AppendJSON(nil), nil }
+
+// UnmarshalJSON decodes the AppendJSON shape, preserving field order —
+// a decoded record re-encodes to the same bytes, which is what lets
+// clients (repstat's poll fallback, the CI smoke) treat captured
+// streams as journals.
+func (e *EventRecord) UnmarshalJSON(data []byte) error {
+	var aux struct {
+		Seq    uint64          `json:"seq"`
+		TS     float64         `json:"logical_ts"`
+		Job    string          `json:"job"`
+		Level  int             `json:"level"`
+		Kind   string          `json:"kind"`
+		Fields json.RawMessage `json:"fields"`
+	}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	*e = EventRecord{Seq: aux.Seq, TS: aux.TS, Job: aux.Job, Level: aux.Level, Kind: aux.Kind}
+	if len(aux.Fields) == 0 {
+		return nil
+	}
+	// encoding/json's map decoding would scramble field order; walk the
+	// object token by token instead.
+	dec := json.NewDecoder(bytes.NewReader(aux.Fields))
+	dec.UseNumber()
+	if _, err := dec.Token(); err != nil { // opening '{'
+		return err
+	}
+	for i := 0; dec.More(); i++ {
+		if i >= EventFieldsMax {
+			return fmt.Errorf("obs: event record with more than %d fields", EventFieldsMax)
+		}
+		keyTok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		key, ok := keyTok.(string)
+		if !ok {
+			return fmt.Errorf("obs: event field key %v is not a string", keyTok)
+		}
+		valTok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		num, ok := valTok.(json.Number)
+		if !ok {
+			return fmt.Errorf("obs: event field %q value %v is not a number", key, valTok)
+		}
+		v, err := num.Int64()
+		if err != nil {
+			return err
+		}
+		e.Fields[i] = EventField{Key: key, Value: v}
+	}
+	return nil
+}
+
+// EventLog is a bounded ring of EventRecords. All methods are safe for
+// concurrent use. When the ring is full the oldest record is
+// overwritten; readers that present a cursor older than the retained
+// window are told how many records they missed.
+type EventLog struct {
+	mu     sync.Mutex
+	ring   []EventRecord // grows to cap once, then overwrites in place
+	next   uint64        // seq of the most recently emitted record
+	notify chan struct{} // closed and replaced on every emit
+}
+
+// NewEventLog builds a log retaining the last capacity records
+// (capacity <= 0 selects 4096).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &EventLog{
+		ring:   make([]EventRecord, 0, capacity),
+		notify: make(chan struct{}),
+	}
+}
+
+// activeEvents is the currently recording log, or nil — the same
+// activation shape as the trace, so event recording can run with or
+// without metrics and tracing.
+var activeEvents atomic.Pointer[EventLog]
+
+// StartEvents installs a fresh log with the given ring capacity as the
+// active recorder and returns it.
+func StartEvents(capacity int) *EventLog {
+	l := NewEventLog(capacity)
+	activeEvents.Store(l)
+	return l
+}
+
+// StopEvents stops recording and returns the log that was active, if
+// any.
+func StopEvents() *EventLog { return activeEvents.Swap(nil) }
+
+// ActiveEvents returns the currently recording log, or nil.
+func ActiveEvents() *EventLog { return activeEvents.Load() }
+
+// Emit records one event on the active log, if any. With no active log
+// it is one atomic load and zero allocations, so lifecycle call sites
+// need no branch of their own. The fields array is passed by value —
+// build it inline at the call site.
+func Emit(kind, job string, level int, ts float64, fields [EventFieldsMax]EventField) {
+	l := activeEvents.Load()
+	if l == nil {
+		return
+	}
+	l.Emit(kind, job, level, ts, fields)
+}
+
+// Emit appends one record, assigning the next sequence number, and
+// wakes every blocked Wait channel.
+func (l *EventLog) Emit(kind, job string, level int, ts float64, fields [EventFieldsMax]EventField) {
+	l.mu.Lock()
+	l.next++
+	rec := EventRecord{Seq: l.next, TS: ts, Job: job, Level: level, Kind: kind, Fields: fields}
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, rec)
+	} else {
+		l.ring[int((l.next-1)%uint64(cap(l.ring)))] = rec
+	}
+	close(l.notify)
+	l.notify = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// LastSeq returns the sequence number of the most recent record (0
+// when nothing has been emitted).
+func (l *EventLog) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Since returns a copy, in sequence order, of every retained record
+// with Seq > after, plus the number of matching records that were
+// already overwritten — dropped > 0 means the reader's cursor fell out
+// of the ring and the stream has a gap.
+func (l *EventLog) Since(after uint64) (evs []EventRecord, dropped uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.next <= after {
+		return nil, 0
+	}
+	oldest := uint64(1)
+	if n := uint64(len(l.ring)); l.next > n {
+		oldest = l.next - n + 1
+	}
+	first := after + 1
+	if first < oldest {
+		dropped = oldest - first
+		first = oldest
+	}
+	evs = make([]EventRecord, 0, l.next-first+1)
+	for seq := first; seq <= l.next; seq++ {
+		evs = append(evs, l.ring[int((seq-1)%uint64(cap(l.ring)))])
+	}
+	return evs, dropped
+}
+
+// Wait returns a channel that is closed once a record with Seq > after
+// exists. If one already does, the returned channel is already closed —
+// callers can select on it alongside a context without racing emits.
+func (l *EventLog) Wait(after uint64) <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.next > after {
+		return closedChan
+	}
+	return l.notify
+}
+
+// closedChan is the already-satisfied Wait result.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// WriteJSONL writes every retained record, oldest first, one JSON
+// object per line. The export is deterministic: the same log contents
+// produce byte-identical output.
+func (l *EventLog) WriteJSONL(w io.Writer) error {
+	evs, _ := l.Since(0)
+	var buf bytes.Buffer
+	scratch := make([]byte, 0, 256)
+	for i := range evs {
+		scratch = evs[i].AppendJSON(scratch[:0])
+		buf.Write(scratch)
+		buf.WriteByte('\n')
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}

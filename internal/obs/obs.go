@@ -230,6 +230,56 @@ func vecName(name string, i int) string {
 	return name + "[" + string(digits[p:]) + "]"
 }
 
+// Gauge is a current-value instrument: unlike a Counter it moves in
+// both directions and exports its instantaneous value, so it models
+// occupancy (queue depth, running jobs, journal bytes) rather than
+// throughput. Same cost contract as the other instruments: one atomic
+// load on the disabled path, one atomic store/add when enabled.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewGauge registers a gauge. Call from package-level var initialisers
+// only; duplicate names panic.
+func NewGauge(name string) *Gauge {
+	g := &Gauge{name: name}
+	register(name, g)
+	return g
+}
+
+// Set stores the current value when instrumentation is enabled.
+func (g *Gauge) Set(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by n (n may be negative) when instrumentation is
+// enabled.
+func (g *Gauge) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc adds 1 when instrumentation is enabled.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1 when instrumentation is enabled.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) snapshot(ms []Metric) []Metric {
+	return append(ms, Metric{Name: g.name, Value: g.v.Load()})
+}
+
+func (g *Gauge) reset() { g.v.Store(0) }
+
 // Histogram records a distribution in power-of-two buckets: bucket k
 // counts observations v with 2^(k-1) <= v < 2^k (bucket 0 counts v <= 0
 // and v == 1 lands in bucket 1). It also tracks count and sum so means
@@ -292,4 +342,75 @@ func (h *Histogram) reset() {
 	}
 	h.count.Store(0)
 	h.sum.Store(0)
+}
+
+// Buckets returns a snapshot copy of the per-bucket counts.
+func (h *Histogram) Buckets() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the recorded
+// distribution by linear interpolation inside the power-of-two bucket
+// that holds the target rank. With no observations it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	return QuantileFromBuckets(h.Buckets(), q)
+}
+
+// BucketBounds returns the value range [lo, hi) that bucket k of a
+// power-of-two histogram covers: bucket 0 holds v <= 0, bucket k >= 1
+// holds 2^(k-1) <= v < 2^k. Exported so clients that reconstruct
+// histograms from exported series (repstat, the prom exposition) agree
+// with the in-process estimator about bucket geometry.
+func BucketBounds(k int) (lo, hi float64) {
+	if k <= 0 {
+		return 0, 0
+	}
+	return float64(int64(1) << (k - 1)), float64(int64(1) << k)
+}
+
+// QuantileFromBuckets is the bucket-interpolated quantile estimator
+// over a power-of-two bucket vector (the exact series a Histogram
+// exports as name.bucket[k]). It is the single implementation behind
+// Histogram.Quantile and the client-side quantiles in cmd/repstat, so
+// the two always agree.
+func QuantileFromBuckets(buckets []int64, q float64) float64 {
+	var total int64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for k, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= rank {
+			lo, hi := BucketBounds(k)
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += float64(c)
+	}
+	// rank beyond the last populated bucket (only reachable through
+	// floating-point edge cases): the last bucket's upper bound.
+	_, hi := BucketBounds(len(buckets) - 1)
+	return hi
 }

@@ -1,0 +1,542 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// withEvents installs a fresh event log for one test and tears it down.
+func withEvents(t *testing.T, capacity int) *obs.EventLog {
+	t.Helper()
+	if obs.ActiveEvents() != nil {
+		t.Fatal("event log already active at test start")
+	}
+	l := obs.StartEvents(capacity)
+	t.Cleanup(func() { obs.StopEvents() })
+	return l
+}
+
+// jobKinds extracts the event-kind sequence for one job.
+func jobKinds(evs []obs.EventRecord, id string) []string {
+	var kinds []string
+	for _, ev := range evs {
+		if ev.Job == id {
+			kinds = append(kinds, ev.Kind)
+		}
+	}
+	return kinds
+}
+
+// TestManagerEventLifecycle: one journaled job emits the full edge
+// sequence — admit, dequeue, per-level start/end/checkpoint, terminal —
+// and the gauges land on their resting values.
+func TestManagerEventLifecycle(t *testing.T) {
+	l := withEvents(t, 1024)
+	prev := obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	defer obs.ResetAll()
+
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "jobs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := j.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	m, err := NewManager(Options{Stream: tinyStream(), Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	st, err := m.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st.ID, StateDone)
+	m.Drain()
+
+	evs, dropped := l.Since(0)
+	if dropped != 0 {
+		t.Fatalf("ring overflowed: %d dropped", dropped)
+	}
+	want := []string{
+		evAdmit, evDequeue,
+		evLevelStart, evLevelEnd, evCheckpoint,
+		evLevelStart, evLevelEnd, evCheckpoint,
+		string(StateDone),
+	}
+	if got := jobKinds(evs, st.ID); !reflect.DeepEqual(got, want) {
+		t.Fatalf("event kinds %v, want %v", got, want)
+	}
+	// Sequence numbers are contiguous and timestamps never go backwards.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("seq gap at %d: %+v", i, evs[i])
+		}
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("logical time went backwards: %+v after %+v", evs[i], evs[i-1])
+		}
+	}
+	// level_end carries the per-level work counters.
+	for _, ev := range evs {
+		if ev.Kind != evLevelEnd {
+			continue
+		}
+		if ev.Fields[0].Key != "evals" || ev.Fields[0].Value <= 0 {
+			t.Fatalf("level_end without evals: %+v", ev)
+		}
+	}
+	vals := obs.Values()
+	if vals["serve.queue.depth.now"] != 0 || vals["serve.jobs.running.now"] != 0 {
+		t.Fatalf("occupancy gauges not at rest: %v", vals)
+	}
+	if got, want := vals["serve.journal.bytes"], j.Size(); got != want || want == 0 {
+		t.Fatalf("journal bytes gauge %d, journal size %d", got, want)
+	}
+	if vals["serve.latency.level_ticks.count"] != 2 {
+		t.Fatalf("level latency histogram count: %v", vals["serve.latency.level_ticks.count"])
+	}
+}
+
+// sseFrame is one parsed Server-Sent Events frame.
+type sseFrame struct {
+	ID    uint64
+	Event string
+	Data  string
+}
+
+// readFrames reads up to max SSE frames (0 = until EOF) from r.
+func readFrames(t *testing.T, r *bufio.Reader, max int) []sseFrame {
+	t.Helper()
+	var (
+		frames []sseFrame
+		cur    sseFrame
+		dirty  bool
+	)
+	for max == 0 || len(frames) < max {
+		line, err := r.ReadString('\n')
+		if err == io.EOF && line == "" {
+			break
+		}
+		if err != nil && err != io.EOF {
+			t.Fatalf("reading SSE stream: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if dirty {
+				frames = append(frames, cur)
+				cur, dirty = sseFrame{}, false
+			}
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.ParseUint(line[len("id: "):], 10, 64)
+			if err != nil {
+				t.Fatalf("bad SSE id line %q: %v", line, err)
+			}
+			cur.ID, dirty = id, true
+		case strings.HasPrefix(line, "event: "):
+			cur.Event, dirty = line[len("event: "):], true
+		case strings.HasPrefix(line, "data: "):
+			cur.Data, dirty = line[len("data: "):], true
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	return frames
+}
+
+// TestSSEResumeNoGaps is the satellite-3 contract: follow a job's SSE
+// stream, kill the connection mid-stream, reconnect with the standard
+// Last-Event-ID header, and the union of both reads covers every event
+// exactly once — cross-checked against the journal's level records.
+func TestSSEResumeNoGaps(t *testing.T) {
+	withEvents(t, 1024)
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := j.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	m, err := NewManager(Options{Stream: tinyStream(), Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	defer m.Drain()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	st, err := m.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st.ID, StateDone)
+
+	stream := func(lastID uint64, max int) []sseFrame {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/jobs/"+st.ID+"/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastID > 0 {
+			req.Header.Set("Last-Event-ID", strconv.FormatUint(lastID, 10))
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if err := resp.Body.Close(); err != nil {
+				t.Error(err)
+			}
+		}()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("SSE status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+			t.Fatalf("SSE content type %q", ct)
+		}
+		return readFrames(t, bufio.NewReader(resp.Body), max)
+	}
+
+	// First connection: read three frames, then kill it mid-stream.
+	head := stream(0, 3)
+	if len(head) != 3 {
+		t.Fatalf("first read got %d frames", len(head))
+	}
+	// Reconnect where the dead connection left off; the stream ends on
+	// its own once the terminal event is drained.
+	tail := stream(head[len(head)-1].ID, 0)
+	if len(tail) == 0 {
+		t.Fatal("resumed stream was empty")
+	}
+
+	frames := append(head, tail...)
+	seen := map[uint64]bool{}
+	var levelEnds []int
+	for _, f := range frames {
+		if f.Event == "gap" {
+			t.Fatalf("gap frame on an un-overflowed ring: %+v", f)
+		}
+		if seen[f.ID] {
+			t.Fatalf("duplicate seq %d after resume", f.ID)
+		}
+		seen[f.ID] = true
+		var rec struct {
+			Seq   uint64 `json:"seq"`
+			Level int    `json:"level"`
+			Kind  string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(f.Data), &rec); err != nil {
+			t.Fatalf("frame data %q: %v", f.Data, err)
+		}
+		if rec.Seq != f.ID || rec.Kind != f.Event {
+			t.Fatalf("frame metadata disagrees with payload: %+v vs %+v", f, rec)
+		}
+		if f.Event == evLevelEnd {
+			levelEnds = append(levelEnds, rec.Level)
+		}
+	}
+	for i := 1; i < len(frames); i++ {
+		if frames[i].ID != frames[i-1].ID+1 {
+			t.Fatalf("seq gap across resume: %d after %d", frames[i].ID, frames[i-1].ID)
+		}
+	}
+	if frames[len(frames)-1].Event != string(StateDone) {
+		t.Fatalf("stream did not end at the terminal event: %+v", frames[len(frames)-1])
+	}
+
+	// The level_end events must line up one-to-one with the journal's
+	// level records.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var journalLevels []int
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec struct {
+			Kind  string `json:"kind"`
+			Level int    `json:"level"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Kind == "level" {
+			journalLevels = append(journalLevels, rec.Level)
+		}
+	}
+	if !reflect.DeepEqual(levelEnds, journalLevels) {
+		t.Fatalf("level_end events %v vs journal level records %v", levelEnds, journalLevels)
+	}
+}
+
+// TestEventsLongPoll: the ?poll=1 fallback returns the same records as
+// JSON and a cursor that picks up exactly where the response ended.
+func TestEventsLongPoll(t *testing.T) {
+	l := withEvents(t, 1024)
+	m, err := NewManager(Options{Stream: tinyStream()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	defer m.Drain()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	st, err := m.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st.ID, StateDone)
+
+	var body pollBody
+	resp := getJSON(t, ts, "/jobs/"+st.ID+"/events?poll=1", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll status %d", resp.StatusCode)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("poll Cache-Control %q", cc)
+	}
+	if body.Dropped != 0 || len(body.Events) == 0 {
+		t.Fatalf("poll body: %d events, %d dropped", len(body.Events), body.Dropped)
+	}
+	if body.Next != l.LastSeq() {
+		t.Fatalf("poll cursor %d, log head %d", body.Next, l.LastSeq())
+	}
+	if got := body.Events[len(body.Events)-1].Kind; got != string(StateDone) {
+		t.Fatalf("last polled event %q", got)
+	}
+	// A follow-up from the returned cursor against a finished job has
+	// nothing new — probe via since= on the firehose's own head.
+	var again pollBody
+	getJSON(t, ts, "/events?poll=1&since="+strconv.FormatUint(body.Next-1, 10), &again)
+	if len(again.Events) != 1 || again.Events[0].Seq != body.Next {
+		t.Fatalf("cursor re-read: %+v", again.Events)
+	}
+
+	// Unknown job and inactive log both map to 404.
+	if resp := getJSON(t, ts, "/jobs/job-999999/events", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job events: %d", resp.StatusCode)
+	}
+	obs.StopEvents()
+	defer obs.StartEvents(16) // keep the cleanup's Stop balanced
+	if resp := getJSON(t, ts, "/events", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("events without active log: %d", resp.StatusCode)
+	}
+}
+
+// parseProm is the small exposition parser backing the prom-format
+// tests and the CI smoke: it checks every line is a well-formed TYPE
+// comment or sample, and returns samples keyed by name+labels.
+func parseProm(t *testing.T, text string) (types map[string]string, samples map[string]int64) {
+	t.Helper()
+	types = map[string]string{}
+	samples = map[string]int64{}
+	for i, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE comment %q", i+1, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", i+1, parts[1])
+			}
+			types[parts[0]] = parts[1]
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: malformed sample %q", i+1, line)
+		}
+		key, val := line[:sp], line[sp+1:]
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			t.Fatalf("line %d: non-integer sample value %q", i+1, line)
+		}
+		name := key
+		if b := strings.IndexByte(key, '{'); b >= 0 {
+			name = key[:b]
+		}
+		for _, c := range []byte(name) {
+			switch {
+			case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			default:
+				t.Fatalf("line %d: invalid metric name byte %q in %q", i+1, c, name)
+			}
+		}
+		samples[key] = n
+	}
+	return types, samples
+}
+
+// TestHTTPMetricsProm: ?format=prom serves a valid text exposition
+// with the right headers, and the serve histograms obey the cumulative
+// bucket contract.
+func TestHTTPMetricsProm(t *testing.T) {
+	prev := obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	defer obs.ResetAll()
+
+	m, err := NewManager(Options{Stream: tinyStream()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	defer m.Drain()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+	st, err := m.Submit(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("prom Content-Type %q", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("prom Cache-Control %q", cc)
+	}
+	types, samples := parseProm(t, string(data))
+	if types["serve_jobs_done"] != "counter" || samples["serve_jobs_done"] < 1 {
+		t.Fatalf("serve_jobs_done: type %q value %d", types["serve_jobs_done"], samples["serve_jobs_done"])
+	}
+	if typ, ok := types["serve_journal_bytes"]; !ok || typ != "gauge" {
+		t.Fatalf("serve_journal_bytes type %q", typ)
+	}
+	if types["serve_latency_level_ticks"] != "histogram" {
+		t.Fatalf("level latency histogram missing: %v", types)
+	}
+	// Cumulative buckets: monotone non-decreasing, +Inf equals _count.
+	var prevCum int64 = -1
+	count := samples["serve_latency_level_ticks_count"]
+	if count < 2 {
+		t.Fatalf("level histogram count %d", count)
+	}
+	for k := 0; ; k++ {
+		le := "0"
+		if k > 0 {
+			le = strconv.FormatInt(int64(1)<<k-1, 10)
+		}
+		cum, ok := samples[`serve_latency_level_ticks_bucket{le="`+le+`"}`]
+		if !ok {
+			break
+		}
+		if cum < prevCum {
+			t.Fatalf("bucket le=%s not cumulative: %d after %d", le, cum, prevCum)
+		}
+		prevCum = cum
+	}
+	if inf := samples[`serve_latency_level_ticks_bucket{le="+Inf"}`]; inf != count {
+		t.Fatalf("+Inf bucket %d != count %d", inf, count)
+	}
+
+	// The JSON view now carries explicit cache headers too.
+	resp2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp2.Body); err != nil {
+		t.Fatal(err)
+	}
+	if err := resp2.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ct, cc := resp2.Header.Get("Content-Type"), resp2.Header.Get("Cache-Control"); ct != "application/json" || cc != "no-store" {
+		t.Fatalf("JSON metrics headers: %q / %q", ct, cc)
+	}
+}
+
+// TestManagerObsEquivalence is the acceptance gate: with counters,
+// tracing and the event log all recording, a job's results, summary
+// and journal bytes are bit-identical to a fully-uninstrumented run.
+func TestManagerObsEquivalence(t *testing.T) {
+	run := func(instrument bool) ([]core.Result, *Summary, []byte) {
+		if instrument {
+			prev := obs.SetEnabled(true)
+			defer obs.SetEnabled(prev)
+			defer obs.ResetAll()
+			obs.StartTrace()
+			defer obs.EndTrace()
+			obs.StartEvents(4096)
+			defer obs.StopEvents()
+		}
+		path := filepath.Join(t.TempDir(), "jobs.jsonl")
+		j, err := OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewManager(Options{Stream: tinyStream(), Journal: j})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Start()
+		st, err := m.Submit(tinySpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fin := waitState(t, m, st.ID, StateDone)
+		res, err := m.Results(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Drain()
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, fin.Summary, data
+	}
+
+	onRes, onSum, onJournal := run(true)
+	offRes, offSum, offJournal := run(false)
+	if !reflect.DeepEqual(onRes, offRes) {
+		t.Fatal("results differ with instrumentation on")
+	}
+	if !reflect.DeepEqual(onSum, offSum) {
+		t.Fatalf("summaries differ: %+v vs %+v", onSum, offSum)
+	}
+	if !bytes.Equal(onJournal, offJournal) {
+		t.Fatalf("journal bytes differ: %d vs %d", len(onJournal), len(offJournal))
+	}
+}

@@ -15,8 +15,13 @@ import (
 //	GET    /jobs      — list all jobs
 //	GET    /jobs/{id} — one job's status
 //	DELETE /jobs/{id} — cancel a job
-//	GET    /metrics   — the obs JSON snapshot (schema_version envelope)
+//	GET    /metrics   — the obs JSON snapshot (schema_version envelope);
+//	                    ?format=prom selects the Prometheus text
+//	                    exposition (version 0.0.4) instead
 //	GET    /trace     — the active Chrome trace_event timeline
+//	GET    /events    — live event stream (SSE, or ?poll=1 long-poll);
+//	                    see http_events.go
+//	GET    /jobs/{id}/events — one job's event stream
 //
 // Error mapping: invalid spec → 400, unknown job → 404, queue full →
 // 429 with Retry-After (the client should back off and retry — the
@@ -50,6 +55,16 @@ func NewHandler(m *Manager) http.Handler {
 		handleCancel(m, w, r)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Snapshots are point-in-time by construction; no-store keeps
+		// intermediaries from serving a stale scrape.
+		w.Header().Set("Cache-Control", "no-store")
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := obs.WriteProm(w); err != nil {
+				m.logf("serve: writing prom metrics: %v", err)
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := obs.WriteJSON(w); err != nil {
 			m.logf("serve: writing metrics: %v", err)
@@ -62,9 +77,16 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
 		if err := tr.WriteChromeTrace(w); err != nil {
 			m.logf("serve: writing trace: %v", err)
 		}
+	})
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		handleEvents(m, w, r, "")
+	})
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		handleEvents(m, w, r, r.PathValue("id"))
 	})
 	return mux
 }

@@ -61,6 +61,7 @@ type JobReplay struct {
 type Journal struct {
 	f      *os.File
 	path   string
+	bytes  int64
 	replay []JobReplay
 }
 
@@ -79,7 +80,7 @@ func OpenJournal(path string) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening journal: %w", err)
 	}
-	return &Journal{f: f, path: path, replay: replay}, nil
+	return &Journal{f: f, path: path, bytes: int64(len(data)), replay: replay}, nil
 }
 
 // Replay returns the per-job state reconstructed at open, in first-
@@ -88,6 +89,11 @@ func (j *Journal) Replay() []JobReplay { return j.replay }
 
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
+
+// Size returns the journal's on-disk size in bytes: what was replayed
+// at open plus everything appended since. The manager mirrors it into
+// the serve.journal.bytes gauge after each checkpoint.
+func (j *Journal) Size() int64 { return j.bytes }
 
 // Close closes the underlying file.
 func (j *Journal) Close() error {
@@ -113,6 +119,7 @@ func (j *Journal) append(rec journalRecord) error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("serve: syncing journal: %w", err)
 	}
+	j.bytes += int64(len(data))
 	return nil
 }
 

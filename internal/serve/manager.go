@@ -153,7 +153,15 @@ func NewManager(opt Options) (*Manager, error) {
 		m.queued++
 		m.queue <- jb
 		jobsResumed.Inc()
+		obs.Emit(evResume, jb.id, jb.levelsDone, jb.submittedAt, [obs.EventFieldsMax]obs.EventField{
+			{Key: "levels_done", Value: int64(jb.levelsDone)},
+			{Key: "levels_total", Value: int64(jb.spec.Levels)},
+		})
 		m.logf("serve: resuming %s at level %d/%d", jb.id, jb.levelsDone, jb.spec.Levels)
+	}
+	gaugeQueueDepth.Set(int64(len(resumable)))
+	if opt.Journal != nil {
+		gaugeJournalBytes.Set(opt.Journal.Size())
 	}
 	return m, nil
 }
@@ -245,6 +253,15 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	m.queue <- jb
 	jobsSubmitted.Inc()
 	queueDepth.Observe(int64(m.queued))
+	gaugeQueueDepth.Set(int64(m.queued))
+	if m.opt.Journal != nil {
+		gaugeJournalBytes.Set(m.opt.Journal.Size())
+	}
+	obs.Emit(evAdmit, jb.id, noLevel, jb.submittedAt, [obs.EventFieldsMax]obs.EventField{
+		{Key: "queue_depth", Value: int64(m.queued)},
+		{Key: "views", Value: int64(jb.spec.Views)},
+		{Key: "levels", Value: int64(jb.spec.Levels)},
+	})
 	m.logf("serve: accepted %s (%s, %d views, %d levels)", jb.id, jb.spec.Dataset, jb.spec.Views, jb.spec.Levels)
 	return m.statusLocked(jb), nil
 }
@@ -350,15 +367,29 @@ func (m *Manager) executor(worker int) {
 		case <-m.quit:
 			return
 		case jb := <-m.queue:
+			// The clock is read unconditionally (not only when
+			// instrumentation is on) so the logical tick sequence — and
+			// with it every later timestamp — is identical whether or
+			// not events and metrics record, preserving the
+			// bit-identical-on-or-off contract.
+			started := m.clock()
 			m.mu.Lock()
 			m.queued--
+			gaugeQueueDepth.Set(int64(m.queued))
 			skip := jb.state != StatePending // cancelled while queued
 			if !skip {
 				jb.state = StateRunning
 			}
 			m.mu.Unlock()
 			if !skip {
+				admitToStartTicks.Observe(int64(started - jb.submittedAt))
+				obs.Emit(evDequeue, jb.id, noLevel, started, [obs.EventFieldsMax]obs.EventField{
+					{Key: "worker", Value: int64(worker)},
+					{Key: "wait_ticks", Value: int64(started - jb.submittedAt)},
+				})
+				gaugeRunningJobs.Inc()
 				m.runJob(worker, jb)
+				gaugeRunningJobs.Dec()
 			}
 		}
 	}
@@ -409,6 +440,9 @@ func (m *Manager) runJob(worker int, jb *job) {
 			return
 		}
 		t0 := m.clock()
+		obs.Emit(evLevelStart, jb.id, k, t0, [obs.EventFieldsMax]obs.EventField{
+			{Key: "views", Value: int64(n)},
+		})
 		res, err := r.RefineStreamLevels(jb.ctx, n, src, priors, k, k+1, m.opt.Stream)
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -419,7 +453,16 @@ func (m *Manager) runJob(worker int, jb *job) {
 			return
 		}
 		priors = res
-		obs.Span(0, worker, fmt.Sprintf("%s L%d", jb.id, k), "serve.level", t0, m.clock())
+		t1 := m.clock()
+		obs.Span(0, worker, fmt.Sprintf("%s L%d", jb.id, k), "serve.level", t0, t1)
+		levelTicks.Observe(int64(t1 - t0))
+		evals, slides, shifts := levelTotals(priors, k)
+		obs.Emit(evLevelEnd, jb.id, k, t1, [obs.EventFieldsMax]obs.EventField{
+			{Key: "evals", Value: evals},
+			{Key: "slides", Value: slides},
+			{Key: "shifts", Value: shifts},
+			{Key: "ticks", Value: int64(t1 - t0)},
+		})
 		levelsDone.Inc()
 		m.mu.Lock()
 		jb.levelsDone = k + 1
@@ -427,6 +470,12 @@ func (m *Manager) runJob(worker int, jb *job) {
 		var jerr error
 		if m.opt.Journal != nil {
 			jerr = m.opt.Journal.Level(jb.id, k, priors)
+			if jerr == nil {
+				gaugeJournalBytes.Set(m.opt.Journal.Size())
+				obs.Emit(evCheckpoint, jb.id, k, t1, [obs.EventFieldsMax]obs.EventField{
+					{Key: "journal_bytes", Value: m.opt.Journal.Size()},
+				})
+			}
 		}
 		m.mu.Unlock()
 		if jerr != nil {
@@ -440,11 +489,30 @@ func (m *Manager) runJob(worker int, jb *job) {
 	m.finish(jb, StateDone, "", summarize(priors, ds.TrueOrientations()))
 }
 
+// levelTotals aggregates one completed level's per-view work counters
+// for the level_end event: total distance evaluations (window +
+// centre), window re-centres, and centre-shift increments applied.
+func levelTotals(results []core.Result, level int) (evals, slides, shifts int64) {
+	for i := range results {
+		if level >= len(results[i].PerLevel) {
+			continue
+		}
+		st := results[i].PerLevel[level]
+		evals += int64(st.Matchings) + int64(st.CenterEvals)
+		slides += int64(st.Slides) + int64(st.CenterSlides)
+		shifts += int64(len(st.Shifts))
+	}
+	return evals, slides, shifts
+}
+
 // park returns a running job to pending at a drain checkpoint; the
 // journal already holds everything a restart needs.
 func (m *Manager) park(jb *job) {
 	m.mu.Lock()
 	jb.state = StatePending
+	obs.Emit(evPark, jb.id, jb.levelsDone, m.clock(), [obs.EventFieldsMax]obs.EventField{
+		{Key: "levels_done", Value: int64(jb.levelsDone)},
+	})
 	m.mu.Unlock()
 	m.logf("serve: parked %s at level %d/%d for drain", jb.id, jb.levelsDone, jb.spec.Levels)
 }
@@ -470,9 +538,16 @@ func (m *Manager) terminalLocked(jb *job, state State, errMsg string, sum *Summa
 	case StateCancelled:
 		jobsCancelled.Inc()
 	}
+	// The terminal event's kind is the state string itself
+	// ("done"/"failed"/"cancelled") so emission never concatenates.
+	obs.Emit(string(state), jb.id, jb.levelsDone, m.clock(), [obs.EventFieldsMax]obs.EventField{
+		{Key: "levels_done", Value: int64(jb.levelsDone)},
+	})
 	if m.opt.Journal != nil {
 		if err := m.opt.Journal.Terminal(jb.id, state, errMsg, sum); err != nil {
 			m.logf("serve: journaling terminal state of %s: %v", jb.id, err)
+		} else {
+			gaugeJournalBytes.Set(m.opt.Journal.Size())
 		}
 	}
 	m.logf("serve: %s → %s %s", jb.id, state, errMsg)

@@ -18,4 +18,39 @@ var (
 	// successful submit — its histogram shows how close the service
 	// ran to backpressure.
 	queueDepth = obs.NewHistogram("serve.queue.depth", 8)
+
+	// The SLO gauges: instantaneous occupancy of the admission queue,
+	// currently executing jobs, and the checkpoint journal's on-disk
+	// size. Gauges (not counters) because they move both ways; repstat
+	// renders them directly and the prom exposition exports them as
+	// `gauge` families.
+	gaugeQueueDepth   = obs.NewGauge("serve.queue.depth.now")
+	gaugeRunningJobs  = obs.NewGauge("serve.jobs.running.now")
+	gaugeJournalBytes = obs.NewGauge("serve.journal.bytes")
+
+	// The SLO latency histograms, in ticks of the manager's injectable
+	// logical clock (wall time never enters the serve package):
+	// admission-to-start is the queueing delay between Submit and an
+	// executor picking the job up; level latency is one schedule
+	// level's refinement time. repstat derives p50/p99 from the
+	// exported buckets with obs.QuantileFromBuckets.
+	admitToStartTicks = obs.NewHistogram("serve.latency.admit_to_start_ticks", 20)
+	levelTicks        = obs.NewHistogram("serve.latency.level_ticks", 20)
 )
+
+// Event kinds emitted at the job lifecycle edges (obs.Emit is a no-op
+// unless cmd/refined — or a test — installed an event log with
+// obs.StartEvents). Terminal edges reuse the State strings as kinds so
+// emission never builds a string on the hot path.
+const (
+	evAdmit      = "admit"
+	evDequeue    = "dequeue"
+	evLevelStart = "level_start"
+	evLevelEnd   = "level_end"
+	evCheckpoint = "checkpoint"
+	evPark       = "park"
+	evResume     = "resume"
+)
+
+// noLevel marks events that are not scoped to a schedule level.
+const noLevel = -1
