@@ -56,6 +56,8 @@ func run() error {
 		refineW    = flag.Int("refine-workers", 0, "refine-stage workers per job (0 = GOMAXPROCS)")
 		depth      = flag.Int("depth", 0, "stream channel depth per job (0 = derived)")
 		levelDelay = flag.Duration("level-delay", 0, "artificial pause after each level checkpoint (smoke tests: widens the kill window)")
+		cycleDelay = flag.Duration("cycle-delay", 0, "artificial pause after each cycle-map checkpoint (smoke tests: widens the mid-reconstruction kill window)")
+		artifacts  = flag.String("artifact-dir", "", "directory for cycle map artifacts (default: the journal's directory)")
 		eventsCap  = flag.Int("events-cap", 4096, "event ring capacity backing /events and /jobs/{id}/events (0 disables the event log)")
 		eventsOut  = flag.String("events-out", "", "write the retained event log as JSONL to this file on drain")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in: profiling endpoints expose internals)")
@@ -92,6 +94,10 @@ func run() error {
 	if *levelDelay > 0 {
 		opt.OnLevel = func(id string, level int) { time.Sleep(*levelDelay) }
 	}
+	if *cycleDelay > 0 {
+		opt.OnCycleMap = func(id string, c int) { time.Sleep(*cycleDelay) }
+	}
+	opt.ArtifactDir = *artifacts
 	m, err := serve.NewManager(opt)
 	if err != nil {
 		return err

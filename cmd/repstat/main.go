@@ -14,7 +14,10 @@
 // prints one JSON object per line — exactly the event records' JSONL
 // shape, so a captured tail is a valid event journal — and reconnects
 // with Last-Event-ID after a dropped connection, so a daemon restart
-// mid-tail costs nothing but a retry.
+// mid-tail costs nothing but a retry. Cycle-job lifecycle events
+// (cycle_start, fsc, cycle_end) are additionally narrated in plain
+// language on stderr, so a human watching a multi-cycle run sees its
+// convergence without stdout losing its journal shape.
 package main
 
 import (
@@ -191,6 +194,8 @@ func renderSnapshot(addr string, s, prev *sample) string {
 		switch {
 		case jb.Error != "":
 			detail = jb.Error
+		case jb.Cycle != nil:
+			detail = cycleDetail(jb.Cycle)
 		case jb.Summary != nil:
 			detail = fmt.Sprintf("mean err %.3f rad", jb.Summary.MeanAngularError)
 		case jb.Resumed:
@@ -200,6 +205,21 @@ func renderSnapshot(addr string, s, prev *sample) string {
 			progressBar(jb.LevelsDone, jb.LevelsTotal), detail)
 	}
 	return w.String()
+}
+
+// cycleDetail renders a cycle job's outer-loop position: completed
+// cycles, the last FSC 0.5 crossing, the plateau counter, and — once
+// the loop has ended — why it stopped.
+func cycleDetail(cs *serve.CycleStatus) string {
+	s := fmt.Sprintf("cycle %d/%d", cs.Done, cs.Max)
+	if cs.ResolutionA > 0 {
+		s += fmt.Sprintf(", FSC0.5 %.2f Å", cs.ResolutionA)
+	}
+	s += fmt.Sprintf(", plateau %d", cs.Plateau)
+	if cs.Stopped != "" {
+		s += ", stopped: " + cs.Stopped
+	}
+	return s
 }
 
 // progressBar renders "[####......] 2/5"-style level progress.
@@ -298,10 +318,17 @@ func (c *client) streamOnce(id string, last *uint64) (done bool, err error) {
 		case strings.HasPrefix(line, "event: "):
 			kind = line[len("event: "):]
 		case strings.HasPrefix(line, "data: "):
-			fmt.Println(line[len("data: "):])
+			payload := line[len("data: "):]
+			fmt.Println(payload)
 			printed = true
 			if kind == "gap" {
 				fmt.Fprintln(os.Stderr, "repstat: event ring overflowed; tail has a gap")
+			}
+			var ev obs.EventRecord
+			if json.Unmarshal([]byte(payload), &ev) == nil {
+				if s := cycleNarration(ev); s != "" {
+					fmt.Fprint(os.Stderr, s)
+				}
 			}
 		case line == "":
 			if terminalKinds[kind] {
@@ -309,6 +336,47 @@ func (c *client) streamOnce(id string, last *uint64) (done bool, err error) {
 			}
 		}
 	}
+}
+
+// cycleNarration renders a one-line human reading of a cycle-lifecycle
+// event, or "" for other kinds. Follow modes print it to stderr —
+// stdout must stay a pure JSONL event journal.
+func cycleNarration(ev obs.EventRecord) string {
+	f := func(key string) int64 {
+		for _, fld := range ev.Fields {
+			if fld.Key == key {
+				return fld.Value
+			}
+		}
+		return 0
+	}
+	switch ev.Kind {
+	case "cycle_start":
+		return fmt.Sprintf("repstat: %s cycle %d/%d started (%d levels)\n",
+			ev.Job, f("cycle")+1, f("max_cycles"), f("levels"))
+	case "fsc":
+		if ma := f("resolution_ma"); ma >= 0 {
+			return fmt.Sprintf("repstat: %s cycle %d FSC0.5 %.2f Å, mean CC %.3f, plateau %d\n",
+				ev.Job, f("cycle"), float64(ma)/1000, float64(f("mean_cc_ppm"))/1e6, f("plateau"))
+		}
+		return fmt.Sprintf("repstat: %s cycle %d FSC has no 0.5 crossing, plateau %d\n",
+			ev.Job, f("cycle"), f("plateau"))
+	case "cycle_end":
+		s := fmt.Sprintf("repstat: %s cycle %d end", ev.Job, f("cycle"))
+		if f("improved") != 0 {
+			s += ", improved"
+		} else {
+			s += ", no improvement"
+		}
+		switch f("stopped") {
+		case 1:
+			s += " — stopping: plateau"
+		case 2:
+			s += " — stopping: max cycles"
+		}
+		return s + "\n"
+	}
+	return ""
 }
 
 // followPoll is the long-poll fallback: repeated ?poll=1 requests,
@@ -334,6 +402,9 @@ func (c *client) followPoll(id string) error {
 				return err
 			}
 			fmt.Println(string(data))
+			if s := cycleNarration(ev); s != "" {
+				fmt.Fprint(os.Stderr, s)
+			}
 			if ev.Job == id && terminalKinds[ev.Kind] {
 				return nil
 			}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// TestCycleDetail pins the snapshot DETAIL column for cycle jobs.
+func TestCycleDetail(t *testing.T) {
+	cases := []struct {
+		name string
+		cs   serve.CycleStatus
+		want string
+	}{
+		{"fresh", serve.CycleStatus{Max: 4}, "cycle 0/4, plateau 0"},
+		{"mid-run", serve.CycleStatus{Done: 2, Max: 4, ResolutionA: 9.25, Plateau: 1},
+			"cycle 2/4, FSC0.5 9.25 Å, plateau 1"},
+		{"stopped", serve.CycleStatus{Done: 3, Max: 8, ResolutionA: 8.5, Plateau: 2, Stopped: "plateau"},
+			"cycle 3/8, FSC0.5 8.50 Å, plateau 2, stopped: plateau"},
+	}
+	for _, tc := range cases {
+		if got := cycleDetail(&tc.cs); got != tc.want {
+			t.Errorf("%s: got %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRenderSnapshotCycle: a cycle job's row carries the cycle detail
+// and the multi-cycle (levels × cycles) progress bar.
+func TestRenderSnapshotCycle(t *testing.T) {
+	s := &sample{
+		jobs: []serve.JobStatus{{
+			ID: "job-000001", State: serve.StateRunning,
+			LevelsDone: 3, LevelsTotal: 8,
+			Cycle: &serve.CycleStatus{Done: 1, Max: 4, ResolutionA: 10.125, Plateau: 0},
+		}},
+		metrics: map[string]int64{},
+	}
+	out := renderSnapshot("127.0.0.1:8080", s, nil)
+	for _, want := range []string{
+		"[###.......] 3/8",
+		"cycle 1/4, FSC0.5 10.12 Å, plateau 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestNarrateCycle feeds a canned event stream — the JSONL shape a
+// -follow tail prints on stdout — through the narrator and pins the
+// stderr-side rendering line for line.
+func TestNarrateCycle(t *testing.T) {
+	stream := []string{
+		`{"seq":1,"logical_ts":0,"job":"job-000001","level":-1,"kind":"admit","fields":{"views":4}}`,
+		`{"seq":2,"logical_ts":1,"job":"job-000001","level":-1,"kind":"cycle_start","fields":{"cycle":0,"max_cycles":4,"levels":2}}`,
+		`{"seq":3,"logical_ts":2,"job":"job-000001","level":0,"kind":"level_end","fields":{"evals":100}}`,
+		`{"seq":4,"logical_ts":3,"job":"job-000001","level":-1,"kind":"fsc","fields":{"cycle":0,"resolution_ma":10125,"mean_cc_ppm":731250,"plateau":0}}`,
+		`{"seq":5,"logical_ts":4,"job":"job-000001","level":-1,"kind":"cycle_end","fields":{"cycle":0,"plateau":0,"improved":1,"stopped":0}}`,
+		`{"seq":6,"logical_ts":5,"job":"job-000001","level":-1,"kind":"fsc","fields":{"cycle":1,"resolution_ma":-1,"plateau":1}}`,
+		`{"seq":7,"logical_ts":6,"job":"job-000001","level":-1,"kind":"cycle_end","fields":{"cycle":1,"plateau":1,"improved":0,"stopped":1}}`,
+		`{"seq":8,"logical_ts":7,"job":"job-000001","level":-1,"kind":"cycle_end","fields":{"cycle":2,"plateau":0,"improved":1,"stopped":2}}`,
+		`{"seq":9,"logical_ts":8,"job":"job-000001","level":-1,"kind":"done","fields":{}}`,
+	}
+	want := strings.Join([]string{
+		"repstat: job-000001 cycle 1/4 started (2 levels)",
+		"repstat: job-000001 cycle 0 FSC0.5 10.12 Å, mean CC 0.731, plateau 0",
+		"repstat: job-000001 cycle 0 end, improved",
+		"repstat: job-000001 cycle 1 FSC has no 0.5 crossing, plateau 1",
+		"repstat: job-000001 cycle 1 end, no improvement — stopping: plateau",
+		"repstat: job-000001 cycle 2 end, improved — stopping: max cycles",
+	}, "\n") + "\n"
+	var w strings.Builder
+	for _, line := range stream {
+		var ev obs.EventRecord
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("canned stream line %q: %v", line, err)
+		}
+		w.WriteString(cycleNarration(ev))
+	}
+	if got := w.String(); got != want {
+		t.Errorf("narration mismatch:\ngot:\n%swant:\n%s", got, want)
+	}
+}

@@ -11,6 +11,7 @@
 //	table2   reo-like per-step timing table
 //	sliding  §5 sliding-window activation statistics
 //	convergence  resolution/error trajectory across refine→reconstruct cycles
+//	plateau  cycles-to-plateau of the multi-cycle outer loop (internal/cycle)
 //	depth    §5's closing question: accuracy/cost vs schedule depth
 //	cycle    §5 refinement vs reconstruction cycle shares
 //	symdetect §6 symmetry-group detection
@@ -46,7 +47,7 @@ func main() {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"fig1b", "opcount", "fig5", "fig23", "fig6", "table1", "table2", "sliding", "cycle", "symdetect", "convergence", "depth"}
+		ids = []string{"fig1b", "opcount", "fig5", "fig23", "fig6", "table1", "table2", "sliding", "cycle", "symdetect", "convergence", "plateau", "depth"}
 	}
 
 	// FSC experiments are shared between several ids; cache them.
@@ -98,6 +99,12 @@ func main() {
 				cb.RefinementSecs, cb.ReconstructionSecs, 100*cb.ReconstructionShare)
 		case "symdetect":
 			must(workload.WriteSymDetect(os.Stdout, workload.RunSymmetryDetection(32)))
+		case "plateau":
+			res, err := workload.RunCycleDriver(workload.SindbisSpec().Scaled(*scale*1.5), workload.CycleOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			must(workload.WritePlateau(os.Stdout, res))
 		case "depth":
 			spec := workload.SindbisSpec().Scaled(*scale * 1.5)
 			rows, err := workload.DepthStudy(spec)

@@ -82,12 +82,12 @@ type Config struct {
 // DefaultConfig returns the production scoping of the suite.
 func DefaultConfig() *Config {
 	return &Config{
-		SimclockPaths: []string{"internal/parfft", "internal/cluster", "internal/core", "internal/serve"},
+		SimclockPaths: []string{"internal/parfft", "internal/cluster", "internal/core", "internal/serve", "internal/cycle"},
 		NumericPaths: []string{
 			"internal/fft", "internal/fourier", "internal/core", "internal/parfft",
 			"internal/cluster", "internal/reconstruct", "internal/align", "internal/fsc",
 			"internal/brick", "internal/volume", "internal/geom", "internal/baseline",
-			"internal/symmetry", "internal/workload",
+			"internal/symmetry", "internal/workload", "internal/cycle",
 		},
 		ConcurrencyPaths: []string{"internal/serve", "internal/pool", "internal/cluster", "internal/parfft"},
 	}

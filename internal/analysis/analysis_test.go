@@ -118,6 +118,7 @@ func checkFixture(t *testing.T, name string) {
 }
 
 func TestSimclockFixture(t *testing.T)     { checkFixture(t, "simclock") }
+func TestCycleClockFixture(t *testing.T)   { checkFixture(t, "cycleclock") }
 func TestOracleGuardFixture(t *testing.T)  { checkFixture(t, "oracleguard") }
 func TestMapOrderFixture(t *testing.T)     { checkFixture(t, "maporder") }
 func TestHotpathAllocFixture(t *testing.T) { checkFixture(t, "hotpathalloc") }

@@ -8,11 +8,11 @@ import (
 
 // Simclock enforces the determinism contract of the simulated-cluster
 // packages (PR 2): every duration in internal/parfft, internal/cluster,
-// internal/core and internal/serve must come from the rank-ordered
-// simulated clock (cluster.Node.Clock/Compute/Sleep), and every random
-// draw from an explicitly seeded source — so wall-clock time and the
-// global math/rand state, both of which vary run to run and with
-// GOMAXPROCS, are banned outright.
+// internal/core, internal/serve and internal/cycle must come from the
+// rank-ordered simulated clock (cluster.Node.Clock/Compute/Sleep), and
+// every random draw from an explicitly seeded source — so wall-clock
+// time and the global math/rand state, both of which vary run to run
+// and with GOMAXPROCS, are banned outright.
 //
 // The ban is transitive: a scoped function that reaches time.Now or
 // the global rand state through a helper in a package outside the

@@ -1,0 +1,18 @@
+// chain.go is the interprocedural half of the fixture: the driver
+// reaching the kernel's trace-span clock transitively, and the
+// reasoned waiver the production fullMap/halfMaps wrappers carry.
+package cycle
+
+import "recon"
+
+// FullMap reaches the wall clock through the out-of-scope kernel.
+func FullMap() int64 {
+	return recon.Finish() // want simclock "call chain cycle.FullMap → recon.Finish"
+}
+
+// WaivedMap carries the same chain but waives it with a reasoned
+// same-line suppression — the production driver's shape, where the
+// span is observability-only and the map bytes are clock-independent.
+func WaivedMap() int64 {
+	return recon.Finish() //replint:allow simclock trace span reads wall time only for observability
+}

@@ -1,0 +1,62 @@
+package fsc
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON serialization of FSC curves. The wire shape is pinned here —
+// snake_case keys, shells in ascending order — rather than left to the
+// default struct reflection, so the cycle journal and any external
+// tooling see one stable schema. encoding/json renders float64 with
+// the shortest representation that round-trips exactly, so a curve
+// written and re-read compares bit-identically; the cycle driver's
+// resume path depends on that exactness.
+
+// curveJSON is the wire shape of a Curve.
+type curveJSON struct {
+	PixelA float64     `json:"pixel_a"`
+	Points []pointJSON `json:"points"`
+}
+
+// pointJSON is the wire shape of one shell.
+type pointJSON struct {
+	Shell       int     `json:"shell"`
+	FreqPerA    float64 `json:"freq_per_a"`
+	ResolutionA float64 `json:"resolution_a"`
+	CC          float64 `json:"cc"`
+}
+
+// MarshalJSON encodes the curve in the pinned wire shape.
+func (c Curve) MarshalJSON() ([]byte, error) {
+	out := curveJSON{PixelA: c.PixelA}
+	if c.Points != nil {
+		out.Points = make([]pointJSON, len(c.Points))
+		for i, p := range c.Points {
+			out.Points[i] = pointJSON{Shell: p.Shell, FreqPerA: p.FreqPerA, ResolutionA: p.ResolutionA, CC: p.CC}
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the wire shape written by MarshalJSON,
+// rejecting curves whose labelling is unusable (non-positive pixel
+// size with shells present).
+func (c *Curve) UnmarshalJSON(data []byte) error {
+	var in curveJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("fsc: decoding curve: %w", err)
+	}
+	if len(in.Points) > 0 && in.PixelA <= 0 {
+		return fmt.Errorf("fsc: decoding curve: non-positive pixel size %g", in.PixelA)
+	}
+	c.PixelA = in.PixelA
+	c.Points = nil
+	if in.Points != nil {
+		c.Points = make([]Point, len(in.Points))
+		for i, p := range in.Points {
+			c.Points[i] = Point{Shell: p.Shell, FreqPerA: p.FreqPerA, ResolutionA: p.ResolutionA, CC: p.CC}
+		}
+	}
+	return nil
+}

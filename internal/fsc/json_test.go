@@ -1,0 +1,93 @@
+package fsc
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCurveJSONRoundTrip pins the exactness contract: a curve with
+// adversarial float64 values (subnormals, values a shortest-repr
+// printer must carry 17 digits for, exact-binary fractions) survives
+// marshal→unmarshal bit for bit.
+func TestCurveJSONRoundTrip(t *testing.T) {
+	c := &Curve{
+		PixelA: 2.8000000000000003, // not representable at fewer digits
+		Points: []Point{
+			{Shell: 1, FreqPerA: 0.1, ResolutionA: 10, CC: 0.9999999999999999},
+			{Shell: 2, FreqPerA: math.Nextafter(0.2, 1), ResolutionA: 1 / math.Nextafter(0.2, 1), CC: -0.3},
+			{Shell: 3, FreqPerA: 0.25, ResolutionA: 4, CC: 5e-324}, // smallest subnormal
+		},
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Curve
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, c) {
+		t.Fatalf("round trip drifted:\n got %+v\nwant %+v", got, *c)
+	}
+	// A second generation must be byte-identical (stable wire shape).
+	data2, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("re-marshal not byte-identical:\n%s\n%s", data, data2)
+	}
+}
+
+// TestCurveJSONShape pins the wire schema — the cycle journal and any
+// external consumer parse these exact keys.
+func TestCurveJSONShape(t *testing.T) {
+	c := &Curve{PixelA: 2, Points: []Point{{Shell: 1, FreqPerA: 0.5, ResolutionA: 2, CC: 0.75}}}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"pixel_a":2,"points":[{"shell":1,"freq_per_a":0.5,"resolution_a":2,"cc":0.75}]}`
+	if string(data) != want {
+		t.Fatalf("wire shape = %s, want %s", data, want)
+	}
+}
+
+// TestCurveJSONEmpty distinguishes the two empty shapes: nil points
+// round-trip as null, a present-but-empty slice as [].
+func TestCurveJSONEmpty(t *testing.T) {
+	for _, c := range []*Curve{{PixelA: 1}, {PixelA: 1, Points: []Point{}}} {
+		data, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Curve
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(&got, c) {
+			t.Fatalf("empty round trip drifted: got %#v want %#v", got, *c)
+		}
+	}
+}
+
+// TestCurveJSONRejects exercises the validation: unusable pixel sizes
+// and malformed documents are errors, not silent zero values.
+func TestCurveJSONRejects(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"zero pixel with shells", `{"pixel_a":0,"points":[{"shell":1,"freq_per_a":0.5,"resolution_a":2,"cc":0.5}]}`},
+		{"negative pixel with shells", `{"pixel_a":-2,"points":[{"shell":1,"freq_per_a":0.5,"resolution_a":2,"cc":0.5}]}`},
+		{"not an object", `[1,2,3]`},
+	}
+	for _, tc := range cases {
+		var c Curve
+		if err := json.Unmarshal([]byte(tc.doc), &c); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		} else if !strings.Contains(err.Error(), "fsc:") {
+			t.Errorf("%s: error %q not from fsc", tc.name, err)
+		}
+	}
+}

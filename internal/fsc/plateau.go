@@ -1,0 +1,51 @@
+package fsc
+
+// Plateau is the cycle driver's stopping rule over successive 0.5
+// crossings: the refinement loop stops once the resolution has failed
+// to improve by at least Eps Å for Window consecutive cycles. The
+// paper phrases the criterion as "until the 3D electron density map
+// cannot be further improved"; Eps and Window make "cannot" concrete.
+//
+// The rule is a pure fold over the observed resolutions, so a resumed
+// job rebuilds the exact stopper state by replaying the journaled
+// per-cycle crossings through a fresh Plateau.
+type Plateau struct {
+	// Eps is the minimum improvement of the 0.5 crossing (Å, toward
+	// finer resolution) that counts as progress.
+	Eps float64
+	// Window is how many consecutive non-improving cycles stop the
+	// run; ≤0 disables stopping (Observe then never returns stop).
+	Window int
+	// BestA is the finest (smallest) resolution observed so far; 0
+	// until the first observation.
+	BestA float64
+	// Count is the current run of consecutive non-improving cycles.
+	Count int
+}
+
+// Observe folds one cycle's 0.5-crossing resolution (Å) into the
+// rule. improved reports that the cycle moved the best resolution by
+// at least Eps (the first observation always improves); stop reports
+// that Window consecutive cycles have now failed to.
+func (p *Plateau) Observe(resolutionA float64) (improved, stop bool) {
+	switch {
+	case p.BestA == 0:
+		improved = true
+		p.BestA = resolutionA
+	case p.BestA-resolutionA >= p.Eps:
+		improved = true
+		p.BestA = resolutionA
+	default:
+		// Sub-Eps gains still tighten the baseline, so a slow drip of
+		// tiny improvements cannot masquerade as progress forever.
+		if resolutionA < p.BestA {
+			p.BestA = resolutionA
+		}
+	}
+	if improved {
+		p.Count = 0
+	} else {
+		p.Count++
+	}
+	return improved, p.Window > 0 && p.Count >= p.Window
+}

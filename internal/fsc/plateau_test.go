@@ -1,0 +1,142 @@
+package fsc
+
+import (
+	"math"
+	"testing"
+)
+
+// mkCurve builds a curve with the given per-shell correlations at
+// pixelA=2 — enough structure for ResolutionAt's edge cases.
+func mkCurve(ccs ...float64) *Curve {
+	c := &Curve{PixelA: 2}
+	l := 2 * (len(ccs) + 1) // any l large enough for the shells
+	for i, cc := range ccs {
+		s := i + 1
+		freq := float64(s) / (float64(l) * c.PixelA)
+		c.Points = append(c.Points, Point{Shell: s, FreqPerA: freq, ResolutionA: 1 / freq, CC: cc})
+	}
+	return c
+}
+
+func TestResolutionAtNoShells(t *testing.T) {
+	c := &Curve{PixelA: 2}
+	if res := c.ResolutionAt(0.5); !math.IsInf(res, 1) {
+		t.Fatalf("empty curve: got %g, want +Inf", res)
+	}
+}
+
+// TestResolutionAtFirstShell pins the boundary where the curve is
+// already below threshold at the coarsest shell: no interpolation is
+// possible, so the first shell's own resolution is returned.
+func TestResolutionAtFirstShell(t *testing.T) {
+	c := mkCurve(0.3, 0.2, 0.1)
+	if res := c.ResolutionAt(0.5); res != c.Points[0].ResolutionA {
+		t.Fatalf("first-shell crossing: got %g, want %g", res, c.Points[0].ResolutionA)
+	}
+}
+
+// TestResolutionAtNonMonotonic pins first-crossing-wins on a curve
+// that dips below 0.5, recovers, and dips again — the reported
+// resolution must come from the first dip, not the deeper later one.
+func TestResolutionAtNonMonotonic(t *testing.T) {
+	c := mkCurve(0.9, 0.4, 0.8, 0.1)
+	res := c.ResolutionAt(0.5)
+	// The crossing is interpolated between shells 1 (0.9) and 2 (0.4),
+	// so it must be coarser than shell 2's resolution and finer than
+	// shell 1's.
+	if !(res < c.Points[0].ResolutionA && res > c.Points[1].ResolutionA) {
+		t.Fatalf("non-monotonic: got %g, want within (%g, %g)", res, c.Points[1].ResolutionA, c.Points[0].ResolutionA)
+	}
+	// And it must be the 1→2 crossing, not the 3→4 one: interpolate by
+	// hand to confirm.
+	pr, p := c.Points[0], c.Points[1]
+	tt := (pr.CC - 0.5) / (pr.CC - p.CC)
+	want := 1 / (pr.FreqPerA + tt*(p.FreqPerA-pr.FreqPerA))
+	if res != want {
+		t.Fatalf("non-monotonic: got %g, want first crossing %g", res, want)
+	}
+}
+
+func TestResolutionAtNeverCrosses(t *testing.T) {
+	c := mkCurve(0.99, 0.95, 0.9)
+	if res := c.ResolutionAt(0.5); res != c.Points[len(c.Points)-1].ResolutionA {
+		t.Fatalf("never crosses: got %g, want finest sampled %g", res, c.Points[len(c.Points)-1].ResolutionA)
+	}
+}
+
+// TestPlateauObserve walks the stopping rule through the scenarios the
+// cycle driver hits: first observation, clear improvement, sub-Eps
+// stall, regression, and the stop condition after Window stalls.
+func TestPlateauObserve(t *testing.T) {
+	p := &Plateau{Eps: 0.1, Window: 2}
+
+	steps := []struct {
+		resA           float64
+		improved, stop bool
+		count          int
+	}{
+		{10.0, true, false, 0},  // first observation always improves
+		{9.0, true, false, 0},   // 1.0 Å gain ≥ Eps
+		{8.95, false, false, 1}, // 0.05 Å < Eps: stall (but BestA tightens)
+		{8.94, false, true, 2},  // second consecutive stall → stop
+	}
+	for i, s := range steps {
+		improved, stop := p.Observe(s.resA)
+		if improved != s.improved || stop != s.stop || p.Count != s.count {
+			t.Fatalf("step %d (%g Å): improved=%v stop=%v count=%d, want %v %v %d",
+				i, s.resA, improved, stop, p.Count, s.improved, s.stop, s.count)
+		}
+	}
+	// Sub-Eps gains tightened the baseline each time.
+	if p.BestA != 8.94 {
+		t.Fatalf("BestA = %g, want 8.94", p.BestA)
+	}
+}
+
+// TestPlateauRegression: a cycle that makes the map worse must not
+// reset the stall counter.
+func TestPlateauRegression(t *testing.T) {
+	p := &Plateau{Eps: 0.1, Window: 3}
+	p.Observe(10)
+	if improved, _ := p.Observe(11); improved {
+		t.Fatal("regression counted as improvement")
+	}
+	if p.BestA != 10 {
+		t.Fatalf("BestA moved to %g on regression", p.BestA)
+	}
+	if improved, _ := p.Observe(9.5); !improved {
+		t.Fatal("0.5 Å gain over best not counted as improvement")
+	}
+	if p.Count != 0 {
+		t.Fatalf("Count = %d after improvement, want 0", p.Count)
+	}
+}
+
+// TestPlateauDisabled: Window ≤ 0 never stops, however long the stall.
+func TestPlateauDisabled(t *testing.T) {
+	p := &Plateau{Eps: 0.1, Window: 0}
+	p.Observe(10)
+	for i := 0; i < 50; i++ {
+		if _, stop := p.Observe(10); stop {
+			t.Fatalf("disabled plateau stopped at stall %d", i)
+		}
+	}
+}
+
+// TestPlateauReplay pins the resume property the journal depends on:
+// folding the same resolution sequence through a fresh Plateau yields
+// identical state.
+func TestPlateauReplay(t *testing.T) {
+	seq := []float64{12, 10.5, 10.4, 10.38, 9.0, 8.99, 8.985}
+	a := &Plateau{Eps: 0.05, Window: 3}
+	for _, r := range seq {
+		a.Observe(r)
+	}
+	b := &Plateau{Eps: 0.05, Window: 3}
+	for _, r := range seq {
+		b.Observe(r)
+	}
+	if *a != *b {
+		t.Fatalf("replay diverged: %+v vs %+v", *a, *b)
+	}
+}

@@ -1,0 +1,53 @@
+package reconstruct
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"repro/internal/volume"
+)
+
+// MapDigest returns a stable content digest of a reconstructed map:
+// sha256 over the edge length followed by every voxel's float64 bit
+// pattern, little-endian, in flat storage order. Two grids digest
+// identically iff they are bit-identical, so the digest is the
+// journal's proof that a resumed cycle reloaded exactly the map the
+// crashed run wrote.
+//
+// The sharded kernel accumulates in fixed shard-then-view order, so
+// parallel reconstructions digest identically across worker counts and
+// across the batch/stream entry points (pinned by TestMapDigestStable).
+// The serial //repro:oracle path is NOT digest-identical to the
+// parallel kernel: it sums contributions in global view order, and
+// float addition does not commute at the last bit (the kernels agree
+// to ≤1e-12, see TestParallelMatchesSerial). Compare serial and
+// parallel maps with a tolerance, not with this digest.
+func MapDigest(g *volume.Grid) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.L))
+	writeHash(h, buf[:])
+	// Chunk the voxel stream so the hasher sees long runs instead of
+	// one syscall-sized Write per voxel.
+	const chunk = 512
+	var block [chunk * 8]byte
+	for base := 0; base < len(g.Data); base += chunk {
+		n := len(g.Data) - base
+		if n > chunk {
+			n = chunk
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(block[i*8:], math.Float64bits(g.Data[base+i]))
+		}
+		writeHash(h, block[:n*8])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeHash feeds b into h.
+func writeHash(h hash.Hash, b []byte) {
+	h.Write(b) //replint:allow errsink a sha256 hash's Write cannot fail
+}

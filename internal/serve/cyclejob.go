@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/ctf"
+	"repro/internal/cycle"
+	"repro/internal/fsc"
+	"repro/internal/obs"
+	"repro/internal/reconstruct"
+	"repro/internal/volume"
+)
+
+// runCycleJob executes one cycle job through the internal/cycle driver,
+// wiring its hooks onto the manager's journal, event stream, gauges,
+// and artifact store. The journal discipline mirrors runJob's: every
+// acknowledged record is fsynced before the hook returns, and replay
+// rebuilds exactly the cycle.State the driver resumes from —
+// including reloading the previous cycle's map artifact (digest-
+// verified) when the kill landed inside a cycle's refinement pass.
+func (m *Manager) runCycleJob(worker int, jb *job) {
+	ds := jb.wspec.Build()
+	inits := ds.PerturbedOrientations(jb.spec.InitError, jb.spec.InitSeed)
+	n := len(ds.Views)
+	cds := cycle.Dataset{Views: ds.Images(), Inits: inits}
+	if ds.HasCTF {
+		cds.CTFs = make([]ctf.Params, n)
+		for i, v := range ds.Views {
+			cds.CTFs[i] = v.CTF
+		}
+	}
+	cfg := cycle.Config{
+		L:             ds.L,
+		PixelA:        ds.PixelA,
+		Levels:        jb.spec.Levels,
+		Pad:           jb.spec.Pad,
+		MaxCycles:     jb.spec.MaxCycles,
+		PlateauEps:    jb.spec.PlateauEps,
+		PlateauWindow: jb.spec.PlateauWindow,
+		Search:        core.SearchMode(jb.spec.Search),
+		SearchSeed:    jb.spec.SearchSeed,
+		CTF:           ds.HasCTF,
+		Stream:        m.opt.Stream,
+	}
+
+	m.mu.Lock()
+	st := cycle.State{
+		LevelsDone: jb.levelsDone,
+		Results:    jb.results,
+		History:    append([]cycle.CycleFSC(nil), jb.cycleHist...),
+	}
+	lastCycle, lastPath, lastDigest := jb.lastMapCycle, jb.lastMapPath, jb.lastMapDigest
+	stopped := jb.cycleStopped
+	m.mu.Unlock()
+
+	// A journaled stop reason means the outer loop already finished; the
+	// kill landed between the final cycle_end and the terminal record.
+	// Everything (results, history, map artifact) is replayed — only the
+	// terminal record is missing.
+	if stopped != "" {
+		m.finish(jb, StateDone, "", summarize(st.Results, ds.TrueOrientations()))
+		return
+	}
+
+	// Resuming inside cycle c's refinement needs cycle c−1's map as the
+	// reference; reload it from the journaled artifact and verify its
+	// content digest before trusting it.
+	if c := len(st.History); c > 0 && st.LevelsDone < (c+1)*jb.spec.Levels {
+		if lastCycle != c-1 {
+			m.finish(jb, StateFailed, fmt.Sprintf("resume: journal has map for cycle %d, need %d", lastCycle, c-1), nil)
+			return
+		}
+		ref, err := loadMapArtifact(lastPath, lastDigest)
+		if err != nil {
+			m.finish(jb, StateFailed, fmt.Sprintf("resume: %v", err), nil)
+			return
+		}
+		st.Ref = ref
+	}
+
+	// lastLevelStart carries the level's start tick from OnLevelStart
+	// to OnLevel; hooks run sequentially on this goroutine.
+	var lastLevelStart float64
+
+	h := cycle.Hooks{
+		Drain: m.drainRequested,
+		OnCycleStart: func(c int) error {
+			ts := m.clock()
+			gaugeCycleNow.Set(int64(c))
+			obs.Emit(evCycleStart, jb.id, noLevel, ts, [obs.EventFieldsMax]obs.EventField{
+				{Key: "cycle", Value: int64(c)},
+				{Key: "max_cycles", Value: int64(jb.spec.MaxCycles)},
+				{Key: "levels", Value: int64(jb.spec.Levels)},
+			})
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			// Already journaled iff this cycle started before a restart.
+			if m.opt.Journal != nil && c >= jb.cyclesStarted {
+				if err := m.opt.Journal.CycleStart(jb.id, c); err != nil {
+					return err
+				}
+				gaugeJournalBytes.Set(m.opt.Journal.Size())
+			}
+			if c >= jb.cyclesStarted {
+				jb.cyclesStarted = c + 1
+			}
+			return nil
+		},
+		OnLevelStart: func(c, global int) error {
+			lastLevelStart = m.clock()
+			obs.Emit(evLevelStart, jb.id, global, lastLevelStart, [obs.EventFieldsMax]obs.EventField{
+				{Key: "views", Value: int64(n)},
+				{Key: "cycle", Value: int64(c)},
+			})
+			return nil
+		},
+		OnLevel: func(c, global int, results []core.Result) error {
+			t1 := m.clock()
+			obs.Span(0, worker, fmt.Sprintf("%s C%d L%d", jb.id, c, global%jb.spec.Levels), "serve.level", lastLevelStart, t1)
+			levelTicks.Observe(int64(t1 - lastLevelStart))
+			evals, slides, shifts := levelTotals(results, global)
+			obs.Emit(evLevelEnd, jb.id, global, t1, [obs.EventFieldsMax]obs.EventField{
+				{Key: "evals", Value: evals},
+				{Key: "slides", Value: slides},
+				{Key: "shifts", Value: shifts},
+				{Key: "ticks", Value: int64(t1 - lastLevelStart)},
+			})
+			levelsDone.Inc()
+			m.mu.Lock()
+			jb.levelsDone = global + 1
+			jb.results = results
+			var jerr error
+			if m.opt.Journal != nil {
+				jerr = m.opt.Journal.Level(jb.id, global, results)
+				if jerr == nil {
+					gaugeJournalBytes.Set(m.opt.Journal.Size())
+					obs.Emit(evCheckpoint, jb.id, global, t1, [obs.EventFieldsMax]obs.EventField{
+						{Key: "journal_bytes", Value: m.opt.Journal.Size()},
+					})
+				}
+			}
+			m.mu.Unlock()
+			if jerr != nil {
+				return jerr
+			}
+			if m.opt.OnLevel != nil {
+				m.opt.OnLevel(jb.id, global)
+			}
+			return nil
+		},
+		OnMap: func(c int, g *volume.Grid) error {
+			ts := m.clock()
+			digest := reconstruct.MapDigest(g)
+			if m.opt.Journal != nil {
+				m.mu.Lock()
+				journaled := jb.lastMapCycle == c
+				journaledDigest := jb.lastMapDigest
+				m.mu.Unlock()
+				if journaled {
+					// The kill landed between this cycle's map journal
+					// and its cycle_end; the recomputed map must match
+					// the journaled digest bit for bit.
+					if digest != journaledDigest {
+						return fmt.Errorf("cycle %d map digest %.12s does not match journaled %.12s", c, digest, journaledDigest)
+					}
+				} else {
+					path := filepath.Join(m.artifactDir(), fmt.Sprintf("%s.cycle-%d.map", jb.id, c))
+					if err := volume.WriteGridFile(path, g); err != nil {
+						return err
+					}
+					m.mu.Lock()
+					err := m.opt.Journal.CycleMap(jb.id, c, path, digest)
+					if err == nil {
+						jb.lastMapCycle, jb.lastMapPath, jb.lastMapDigest = c, path, digest
+						gaugeJournalBytes.Set(m.opt.Journal.Size())
+						obs.Emit(evCheckpoint, jb.id, noLevel, ts, [obs.EventFieldsMax]obs.EventField{
+							{Key: "cycle", Value: int64(c)},
+							{Key: "journal_bytes", Value: m.opt.Journal.Size()},
+						})
+					}
+					m.mu.Unlock()
+					if err != nil {
+						return err
+					}
+				}
+			}
+			if m.opt.OnCycleMap != nil {
+				m.opt.OnCycleMap(jb.id, c)
+			}
+			return nil
+		},
+		OnCycleEnd: func(rec cycle.CycleFSC, curve *fsc.Curve, stopped string) error {
+			ts := m.clock()
+			cyclesCompleted.Inc()
+			gaugeCycleRes.Set(milliA(rec.ResolutionA))
+			obs.Emit(evFSC, jb.id, noLevel, ts, [obs.EventFieldsMax]obs.EventField{
+				{Key: "cycle", Value: int64(rec.Cycle)},
+				{Key: "resolution_ma", Value: milliA(rec.ResolutionA)},
+				{Key: "mean_cc_ppm", Value: int64(rec.MeanCC * 1e6)},
+				{Key: "plateau", Value: int64(rec.Plateau)},
+			})
+			improved := int64(0)
+			if rec.Improved {
+				improved = 1
+			}
+			obs.Emit(evCycleEnd, jb.id, noLevel, ts, [obs.EventFieldsMax]obs.EventField{
+				{Key: "cycle", Value: int64(rec.Cycle)},
+				{Key: "plateau", Value: int64(rec.Plateau)},
+				{Key: "improved", Value: improved},
+				{Key: "stopped", Value: stopCode(stopped)},
+			})
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			jb.cycleHist = append(jb.cycleHist, rec)
+			jb.cycleStopped = stopped
+			if m.opt.Journal != nil {
+				if err := m.opt.Journal.CycleEnd(jb.id, rec, stopped); err != nil {
+					return err
+				}
+				gaugeJournalBytes.Set(m.opt.Journal.Size())
+			}
+			return nil
+		},
+	}
+
+	out, err := cycle.Run(jb.ctx, cds, cfg, st, h)
+	switch {
+	case err != nil:
+		if errors.Is(err, context.Canceled) {
+			m.finish(jb, StateCancelled, "cancelled while running", nil)
+		} else {
+			m.finish(jb, StateFailed, err.Error(), nil)
+		}
+	case out.Parked:
+		m.park(jb)
+	default:
+		m.finish(jb, StateDone, "", summarize(out.Results, ds.TrueOrientations()))
+	}
+}
+
+// artifactDir resolves where cycle map artifacts land.
+func (m *Manager) artifactDir() string {
+	if m.opt.ArtifactDir != "" {
+		return m.opt.ArtifactDir
+	}
+	if m.opt.Journal != nil {
+		return filepath.Dir(m.opt.Journal.Path())
+	}
+	return "."
+}
+
+// loadMapArtifact reloads a journaled map artifact and verifies its
+// content digest against the journaled one.
+func loadMapArtifact(path, digest string) (*volume.Grid, error) {
+	g, err := volume.ReadGridFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reloading map artifact: %w", err)
+	}
+	if got := reconstruct.MapDigest(g); got != digest {
+		return nil, fmt.Errorf("map artifact %s digest %.12s does not match journaled %.12s", path, got, digest)
+	}
+	return g, nil
+}
+
+// milliA converts Å to integer milli-Å for int64 event fields; non-
+// finite resolutions (no FSC crossing on an empty curve) encode as -1.
+func milliA(resA float64) int64 {
+	if resA != resA || resA > 1e15 || resA < -1e15 {
+		return -1
+	}
+	return int64(resA * 1000)
+}
+
+// stopCode maps a cycle stop reason to its event-field code.
+func stopCode(stopped string) int64 {
+	switch stopped {
+	case cycle.StopPlateau:
+		return stopCodePlateau
+	case cycle.StopMaxCycles:
+		return stopCodeMaxCycles
+	default:
+		return stopCodeNone
+	}
+}

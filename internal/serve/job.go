@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/cycle"
 	"repro/internal/geom"
 	"repro/internal/workload"
 )
@@ -47,6 +48,17 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// Job types. A refine job runs one pass over the level schedule
+// against the ground-truth reference (the original service). A cycle
+// job closes the paper's outer loop: it alternates a full refinement
+// pass, a reconstruction, and an odd/even FSC, feeding each cycle's
+// map back as the next cycle's reference, until the 0.5 crossing
+// plateaus or MaxCycles is reached (see internal/cycle).
+const (
+	TypeRefine = "refine"
+	TypeCycle  = "cycle"
+)
+
 // JobSpec is the client-supplied description of one refinement job. It
 // reuses the workload.DatasetSpec vocabulary: a named dataset, an
 // optional shrink factor, and the perturbation of the initial
@@ -54,6 +66,9 @@ func (s State) Terminal() bool {
 // jitter, generator seed) is pinned by the named spec, so a JobSpec is
 // a complete, reproducible statement of the work.
 type JobSpec struct {
+	// Type selects the job kind: TypeRefine (the default) or
+	// TypeCycle.
+	Type string `json:"type,omitempty"`
 	// Dataset names the workload spec ("sindbis", "reo", "asymmetric";
 	// the long "-like" forms are accepted too).
 	Dataset string `json:"dataset"`
@@ -81,6 +96,24 @@ type JobSpec struct {
 	// SearchSeed seeds the adaptive search's deterministic probe
 	// streams (ignored under "exhaustive").
 	SearchSeed int64 `json:"search_seed,omitempty"`
+	// MaxCycles caps a cycle job's refine→reconstruct→FSC iterations
+	// (0 selects 4; refine jobs must leave it 0).
+	MaxCycles int `json:"max_cycles,omitempty"`
+	// PlateauEps is the minimum FSC 0.5-crossing improvement (Å) that
+	// counts as progress for a cycle job (0 selects 0.01).
+	PlateauEps float64 `json:"plateau_eps,omitempty"`
+	// PlateauWindow is how many consecutive non-improving cycles stop
+	// a cycle job (0 selects 2; -1 disables plateau stopping).
+	PlateauWindow int `json:"plateau_window,omitempty"`
+}
+
+// levelsTotal is the job's total refinement-level count: the schedule
+// length, times the cycle cap for cycle jobs.
+func (s JobSpec) levelsTotal() int {
+	if s.Type == TypeCycle {
+		return s.Levels * s.MaxCycles
+	}
+	return s.Levels
 }
 
 // normalize validates the spec and fills defaults, returning the
@@ -127,6 +160,36 @@ func (s JobSpec) normalize() (JobSpec, workload.DatasetSpec, error) {
 	case string(core.SearchAdaptive), string(core.SearchExhaustive):
 	default:
 		return s, wspec, fmt.Errorf("serve: unknown search mode %q", s.Search)
+	}
+	switch s.Type {
+	case "":
+		s.Type = TypeRefine
+		fallthrough
+	case TypeRefine:
+		if s.MaxCycles != 0 || s.PlateauEps != 0 || s.PlateauWindow != 0 {
+			return s, wspec, fmt.Errorf("serve: cycle parameters on a %s job", TypeRefine)
+		}
+	case TypeCycle:
+		if s.MaxCycles == 0 {
+			s.MaxCycles = 4
+		}
+		if s.MaxCycles < 1 || s.MaxCycles > 64 {
+			return s, wspec, fmt.Errorf("serve: max_cycles %d outside 1..64", s.MaxCycles)
+		}
+		if s.PlateauEps < 0 {
+			return s, wspec, fmt.Errorf("serve: negative plateau_eps %g", s.PlateauEps)
+		}
+		if s.PlateauEps == 0 {
+			s.PlateauEps = 0.01
+		}
+		if s.PlateauWindow < -1 {
+			return s, wspec, fmt.Errorf("serve: plateau_window %d below -1", s.PlateauWindow)
+		}
+		if s.PlateauWindow == 0 {
+			s.PlateauWindow = 2
+		}
+	default:
+		return s, wspec, fmt.Errorf("serve: unknown job type %q", s.Type)
 	}
 	return s, wspec, nil
 }
@@ -191,4 +254,27 @@ type JobStatus struct {
 	Error string `json:"error,omitempty"`
 	// Summary is present once the job is done.
 	Summary *Summary `json:"summary,omitempty"`
+	// Cycle is present on cycle jobs: the outer-loop progress.
+	Cycle *CycleStatus `json:"cycle,omitempty"`
+}
+
+// CycleStatus is the outer-loop slice of a cycle job's status.
+type CycleStatus struct {
+	// Done counts completed cycles (refine + reconstruct + FSC); Max
+	// is the job's hard cycle cap.
+	Done int `json:"done"`
+	Max  int `json:"max"`
+	// ResolutionA is the last completed cycle's FSC 0.5 crossing in Å
+	// (0 until a cycle completes).
+	ResolutionA float64 `json:"resolution_a,omitempty"`
+	// Plateau is the consecutive non-improving cycle count.
+	Plateau int `json:"plateau"`
+	// Stopped is why the loop ended (cycle.StopPlateau or
+	// cycle.StopMaxCycles), once it has.
+	Stopped string `json:"stopped,omitempty"`
+	// MapPath and MapDigest identify the last journaled map artifact.
+	MapPath   string `json:"map_path,omitempty"`
+	MapDigest string `json:"map_digest,omitempty"`
+	// History holds every completed cycle's FSC record.
+	History []cycle.CycleFSC `json:"history,omitempty"`
 }

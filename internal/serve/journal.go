@@ -7,34 +7,52 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/cycle"
 )
 
 // The checkpoint journal is an append-only JSONL file: one record per
 // line, written and fsynced before the manager acknowledges the event
-// it describes. Three kinds exist:
+// it describes. Six kinds exist:
 //
-//	submit   — a job was accepted (id + normalized spec)
-//	level    — one schedule level finished; carries the full per-view
-//	           results including every centre-shift increment, i.e.
-//	           exactly the priors RefineStreamLevels resumes from
-//	terminal — the job reached done/failed/cancelled
+//	submit      — a job was accepted (id + normalized spec)
+//	level       — one schedule level finished; carries the full
+//	              per-view results including every centre-shift
+//	              increment, i.e. exactly the priors
+//	              RefineStreamLevels resumes from. Cycle jobs journal
+//	              the GLOBAL level index (cycle·Levels + level), so
+//	              levels stay contiguous from 0 across cycles.
+//	cycle_start — a cycle job began cycle c's refinement pass
+//	cycle_map   — cycle c's full map was reconstructed and serialized;
+//	              carries the artifact path and the map's content
+//	              digest (reconstruct.MapDigest), which a resume
+//	              verifies before trusting the artifact
+//	cycle_end   — cycle c's odd/even FSC summary and, if the loop
+//	              ended here, why
+//	terminal    — the job reached done/failed/cancelled
 //
 // Replay tolerates a torn final line (a crash mid-append) by ignoring
 // it; a malformed line anywhere earlier is corruption and an error.
-// Because core.Result round-trips through encoding/json without
-// losing a bit (float64 fields only), a journal resume reproduces the
-// uninterrupted run exactly.
+// Because core.Result and fsc/cycle records round-trip through
+// encoding/json without losing a bit (float64 fields only), a journal
+// resume reproduces the uninterrupted run exactly.
 
 // journalRecord is one line of the journal.
 type journalRecord struct {
-	Kind string `json:"kind"` // "submit" | "level" | "terminal"
+	Kind string `json:"kind"` // "submit" | "level" | "cycle_start" | "cycle_map" | "cycle_end" | "terminal"
 	ID   string `json:"id"`
 	// Submit fields.
 	Spec *JobSpec `json:"spec,omitempty"`
-	// Level fields: the zero-based schedule level just completed and
-	// the per-view results after it.
+	// Level fields: the zero-based (global) schedule level just
+	// completed and the per-view results after it.
 	Level   int           `json:"level,omitempty"`
 	Results []core.Result `json:"results,omitempty"`
+	// Cycle fields. Cycle is the zero-based cycle index of the
+	// cycle_start/cycle_map/cycle_end kinds.
+	Cycle     int             `json:"cycle,omitempty"`
+	MapPath   string          `json:"map_path,omitempty"`
+	MapDigest string          `json:"map_digest,omitempty"`
+	FSC       *cycle.CycleFSC `json:"fsc,omitempty"`
+	Stopped   string          `json:"stopped,omitempty"`
 	// Terminal fields.
 	State   State    `json:"state,omitempty"`
 	Error   string   `json:"error,omitempty"`
@@ -45,10 +63,22 @@ type journalRecord struct {
 type JobReplay struct {
 	ID   string
 	Spec JobSpec
-	// LevelsDone is the number of checkpointed levels; Results holds
-	// the per-view results after the last of them (nil when none).
+	// LevelsDone is the number of checkpointed levels (global across
+	// cycles for cycle jobs); Results holds the per-view results after
+	// the last of them (nil when none).
 	LevelsDone int
 	Results    []core.Result
+	// Cycle-job fields: how many cycles have started (cycle_start) and
+	// completed (cycle_end), the completed cycles' FSC records, the
+	// last journaled map artifact (LastMapCycle is -1 when none), and
+	// the journaled stop reason.
+	CyclesStarted int
+	CyclesDone    int
+	History       []cycle.CycleFSC
+	LastMapCycle  int
+	LastMapPath   string
+	LastMapDigest string
+	Stopped       string
 	// State is the terminal state if one was journaled, else
 	// StatePending — the job should be re-queued.
 	State   State
@@ -128,10 +158,27 @@ func (j *Journal) Submit(id string, spec JobSpec) error {
 	return j.append(journalRecord{Kind: "submit", ID: id, Spec: &spec})
 }
 
-// Level journals the completion of schedule level `level` (zero-based)
-// with the per-view results after it.
+// Level journals the completion of schedule level `level` (zero-based,
+// global across cycles) with the per-view results after it.
 func (j *Journal) Level(id string, level int, results []core.Result) error {
 	return j.append(journalRecord{Kind: "level", ID: id, Level: level, Results: results})
+}
+
+// CycleStart journals the beginning of cycle c's refinement pass.
+func (j *Journal) CycleStart(id string, c int) error {
+	return j.append(journalRecord{Kind: "cycle_start", ID: id, Cycle: c})
+}
+
+// CycleMap journals cycle c's reconstructed-map artifact: where it was
+// serialized and its content digest.
+func (j *Journal) CycleMap(id string, c int, path, digest string) error {
+	return j.append(journalRecord{Kind: "cycle_map", ID: id, Cycle: c, MapPath: path, MapDigest: digest})
+}
+
+// CycleEnd journals cycle c's FSC summary and, when the outer loop
+// ended at this cycle, the stop reason.
+func (j *Journal) CycleEnd(id string, rec cycle.CycleFSC, stopped string) error {
+	return j.append(journalRecord{Kind: "cycle_end", ID: id, Cycle: rec.Cycle, FSC: &rec, Stopped: stopped})
 }
 
 // Terminal journals a job reaching a final state.
@@ -172,7 +219,7 @@ func replayJournal(data []byte) ([]JobReplay, error) {
 			if rec.Spec == nil {
 				return nil, fmt.Errorf("journal line %d: submit without spec", i+1)
 			}
-			jobs[rec.ID] = &JobReplay{ID: rec.ID, Spec: *rec.Spec, State: StatePending}
+			jobs[rec.ID] = &JobReplay{ID: rec.ID, Spec: *rec.Spec, State: StatePending, LastMapCycle: -1}
 			order = append(order, rec.ID)
 		case "level":
 			if jb == nil {
@@ -183,6 +230,40 @@ func replayJournal(data []byte) ([]JobReplay, error) {
 			}
 			jb.LevelsDone++
 			jb.Results = rec.Results
+		case "cycle_start":
+			if jb == nil {
+				return nil, fmt.Errorf("journal line %d: cycle_start for unknown job %s", i+1, rec.ID)
+			}
+			if rec.Cycle != jb.CyclesStarted {
+				return nil, fmt.Errorf("journal line %d: job %s cycle_start %d after %d started cycles", i+1, rec.ID, rec.Cycle, jb.CyclesStarted)
+			}
+			jb.CyclesStarted++
+		case "cycle_map":
+			if jb == nil {
+				return nil, fmt.Errorf("journal line %d: cycle_map for unknown job %s", i+1, rec.ID)
+			}
+			if rec.Cycle != jb.CyclesStarted-1 {
+				return nil, fmt.Errorf("journal line %d: job %s cycle_map %d with %d started cycles", i+1, rec.ID, rec.Cycle, jb.CyclesStarted)
+			}
+			if rec.MapPath == "" || rec.MapDigest == "" {
+				return nil, fmt.Errorf("journal line %d: job %s cycle_map %d missing path or digest", i+1, rec.ID, rec.Cycle)
+			}
+			jb.LastMapCycle = rec.Cycle
+			jb.LastMapPath = rec.MapPath
+			jb.LastMapDigest = rec.MapDigest
+		case "cycle_end":
+			if jb == nil {
+				return nil, fmt.Errorf("journal line %d: cycle_end for unknown job %s", i+1, rec.ID)
+			}
+			if rec.Cycle != jb.CyclesDone {
+				return nil, fmt.Errorf("journal line %d: job %s cycle_end %d after %d done cycles", i+1, rec.ID, rec.Cycle, jb.CyclesDone)
+			}
+			if rec.FSC == nil {
+				return nil, fmt.Errorf("journal line %d: job %s cycle_end %d without fsc record", i+1, rec.ID, rec.Cycle)
+			}
+			jb.CyclesDone++
+			jb.History = append(jb.History, *rec.FSC)
+			jb.Stopped = rec.Stopped
 		case "terminal":
 			if jb == nil {
 				return nil, fmt.Errorf("journal line %d: terminal for unknown job %s", i+1, rec.ID)

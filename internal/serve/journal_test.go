@@ -72,8 +72,8 @@ func TestJournalRoundTrip(t *testing.T) {
 		}
 	}()
 	want := []JobReplay{
-		{ID: "job-000001", Spec: spec, LevelsDone: 1, Results: results, State: StateDone, Summary: sum},
-		{ID: "job-000002", Spec: spec, State: StatePending},
+		{ID: "job-000001", Spec: spec, LevelsDone: 1, Results: results, State: StateDone, Summary: sum, LastMapCycle: -1},
+		{ID: "job-000002", Spec: spec, State: StatePending, LastMapCycle: -1},
 	}
 	if got := j2.Replay(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("replay mismatch:\ngot  %+v\nwant %+v", got, want)

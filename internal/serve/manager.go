@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ctf"
+	"repro/internal/cycle"
 	"repro/internal/fourier"
 	"repro/internal/obs"
 	"repro/internal/volume"
@@ -52,8 +53,18 @@ type Options struct {
 	// OnLevel, when non-nil, is called after each level checkpoint
 	// (journal written, status updated). It runs on the executor
 	// goroutine: it may call RequestDrain to stop the schedule at
-	// this checkpoint, but must not block on Drain itself.
+	// this checkpoint, but must not block on Drain itself. Cycle jobs
+	// pass the global level index (cycle·Levels + level).
 	OnLevel func(jobID string, level int)
+	// OnCycleMap, when non-nil, is called after a cycle job's map
+	// artifact has been written and journaled, before the cycle's FSC
+	// runs — the mid-reconstruction kill window the CI smoke targets.
+	// Same goroutine discipline as OnLevel.
+	OnCycleMap func(jobID string, c int)
+	// ArtifactDir is where cycle jobs serialize per-cycle map
+	// artifacts. Empty selects the journal's directory; artifacts are
+	// only written when Journal is set.
+	ArtifactDir string
 	// Logf, when non-nil, receives one line per job state change.
 	Logf func(format string, args ...any)
 }
@@ -74,6 +85,14 @@ type job struct {
 	results    []core.Result
 	errMsg     string
 	summary    *Summary
+
+	// Cycle-job state, mirroring the journal's cycle records.
+	cyclesStarted int
+	cycleHist     []cycle.CycleFSC
+	cycleStopped  string
+	lastMapCycle  int // -1 until a cycle_map is journaled
+	lastMapPath   string
+	lastMapDigest string
 }
 
 // Manager owns the job table, the bounded admission queue, and the
@@ -155,9 +174,9 @@ func NewManager(opt Options) (*Manager, error) {
 		jobsResumed.Inc()
 		obs.Emit(evResume, jb.id, jb.levelsDone, jb.submittedAt, [obs.EventFieldsMax]obs.EventField{
 			{Key: "levels_done", Value: int64(jb.levelsDone)},
-			{Key: "levels_total", Value: int64(jb.spec.Levels)},
+			{Key: "levels_total", Value: int64(jb.spec.levelsTotal())},
 		})
-		m.logf("serve: resuming %s at level %d/%d", jb.id, jb.levelsDone, jb.spec.Levels)
+		m.logf("serve: resuming %s at level %d/%d", jb.id, jb.levelsDone, jb.spec.levelsTotal())
 	}
 	gaugeQueueDepth.Set(int64(len(resumable)))
 	if opt.Journal != nil {
@@ -186,6 +205,13 @@ func (m *Manager) reviveJob(rp JobReplay) (*job, error) {
 		results:     rp.Results,
 		errMsg:      rp.Error,
 		summary:     rp.Summary,
+
+		cyclesStarted: rp.CyclesStarted,
+		cycleHist:     rp.History,
+		cycleStopped:  rp.Stopped,
+		lastMapCycle:  rp.LastMapCycle,
+		lastMapPath:   rp.LastMapPath,
+		lastMapDigest: rp.LastMapDigest,
 	}, nil
 }
 
@@ -229,13 +255,14 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 	m.nextID++
 	ctx, cancel := context.WithCancel(context.Background())
 	jb := &job{
-		id:          fmt.Sprintf("job-%06d", m.nextID),
-		spec:        spec,
-		wspec:       wspec,
-		submittedAt: m.clock(),
-		ctx:         ctx,
-		cancel:      cancel,
-		state:       StatePending,
+		id:           fmt.Sprintf("job-%06d", m.nextID),
+		spec:         spec,
+		wspec:        wspec,
+		submittedAt:  m.clock(),
+		ctx:          ctx,
+		cancel:       cancel,
+		state:        StatePending,
+		lastMapCycle: -1,
 	}
 	if m.opt.Journal != nil {
 		if err := m.opt.Journal.Submit(jb.id, jb.spec); err != nil {
@@ -388,7 +415,11 @@ func (m *Manager) executor(worker int) {
 					{Key: "wait_ticks", Value: int64(started - jb.submittedAt)},
 				})
 				gaugeRunningJobs.Inc()
-				m.runJob(worker, jb)
+				if jb.spec.Type == TypeCycle {
+					m.runCycleJob(worker, jb)
+				} else {
+					m.runJob(worker, jb)
+				}
 				gaugeRunningJobs.Dec()
 			}
 		}
@@ -514,7 +545,7 @@ func (m *Manager) park(jb *job) {
 		{Key: "levels_done", Value: int64(jb.levelsDone)},
 	})
 	m.mu.Unlock()
-	m.logf("serve: parked %s at level %d/%d for drain", jb.id, jb.levelsDone, jb.spec.Levels)
+	m.logf("serve: parked %s at level %d/%d for drain", jb.id, jb.levelsDone, jb.spec.levelsTotal())
 }
 
 // finish moves a job to a terminal state and journals it.
@@ -555,17 +586,33 @@ func (m *Manager) terminalLocked(jb *job, state State, errMsg string, sum *Summa
 
 // statusLocked snapshots a job's status with Manager.mu held.
 func (m *Manager) statusLocked(jb *job) JobStatus {
-	return JobStatus{
+	st := JobStatus{
 		ID:          jb.id,
 		State:       jb.state,
 		Spec:        jb.spec,
 		Views:       jb.spec.Views,
 		LevelsDone:  jb.levelsDone,
-		LevelsTotal: jb.spec.Levels,
+		LevelsTotal: jb.spec.levelsTotal(),
 		Shape:       m.shape,
 		SubmittedAt: jb.submittedAt,
 		Resumed:     jb.resumed,
 		Error:       jb.errMsg,
 		Summary:     jb.summary,
 	}
+	if jb.spec.Type == TypeCycle {
+		cs := &CycleStatus{
+			Done:      len(jb.cycleHist),
+			Max:       jb.spec.MaxCycles,
+			Stopped:   jb.cycleStopped,
+			MapPath:   jb.lastMapPath,
+			MapDigest: jb.lastMapDigest,
+			History:   append([]cycle.CycleFSC(nil), jb.cycleHist...),
+		}
+		if n := len(jb.cycleHist); n > 0 {
+			cs.ResolutionA = jb.cycleHist[n-1].ResolutionA
+			cs.Plateau = jb.cycleHist[n-1].Plateau
+		}
+		st.Cycle = cs
+	}
+	return st
 }

@@ -28,6 +28,13 @@ var (
 	gaugeRunningJobs  = obs.NewGauge("serve.jobs.running.now")
 	gaugeJournalBytes = obs.NewGauge("serve.journal.bytes")
 
+	// Cycle-job gauges: the cycle index currently refining and the
+	// last completed cycle's FSC 0.5 crossing in milli-Å (gauges carry
+	// int64, so 8.53 Å exports as 8530).
+	gaugeCycleNow   = obs.NewGauge("serve.cycle.now")
+	gaugeCycleRes   = obs.NewGauge("serve.cycle.fsc05_milli_a")
+	cyclesCompleted = obs.NewCounter("serve.cycles.completed")
+
 	// The SLO latency histograms, in ticks of the manager's injectable
 	// logical clock (wall time never enters the serve package):
 	// admission-to-start is the queueing delay between Submit and an
@@ -50,6 +57,19 @@ const (
 	evCheckpoint = "checkpoint"
 	evPark       = "park"
 	evResume     = "resume"
+	// Cycle-job outer-loop edges: a cycle's refinement pass starting,
+	// its odd/even FSC summary, and the cycle completing.
+	evCycleStart = "cycle_start"
+	evFSC        = "fsc"
+	evCycleEnd   = "cycle_end"
+)
+
+// Stop-reason codes carried by cycle_end events (int64 event fields
+// cannot carry the reason string).
+const (
+	stopCodeNone      = 0
+	stopCodePlateau   = 1
+	stopCodeMaxCycles = 2
 )
 
 // noLevel marks events that are not scoped to a schedule level.
